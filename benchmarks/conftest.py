@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+section (see DESIGN.md for the experiment index).  Problem sizes are
+scaled down from the paper so the whole suite runs on a laptop in minutes;
+the *shape* of each result (who wins, where alerts land, how widths
+compare) is what is checked and reported, not absolute values.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import pytest
+
+
+def print_header(title: str) -> None:
+    """Banner separating one experiment's output from the next."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_table(rows: Sequence[Dict[str, object]]) -> None:
+    """Print a list of dictionaries as an aligned text table."""
+    if not rows:
+        print("(no rows)")
+        return
+    headers = list(rows[0].keys())
+    widths = {h: max(len(str(h)), max(len(str(r.get(h, ""))) for r in rows)) for h in headers}
+    print("  ".join(str(h).ljust(widths[h]) for h in headers))
+    print("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        print("  ".join(str(row.get(h, "")).ljust(widths[h]) for h in headers))
+
+
+def print_series(label: str, times: Iterable[int], values: Iterable[float], alerts=None) -> None:
+    """Print a score series as one compact line per time step."""
+    alerts = list(alerts) if alerts is not None else None
+    print(f"-- {label}")
+    for i, (t, v) in enumerate(zip(times, values)):
+        flag = "  *ALERT*" if alerts is not None and alerts[i] else ""
+        print(f"   t={int(t):4d}  score={float(v):8.4f}{flag}")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the measured callable exactly once (these are experiment harnesses,
+    not micro-benchmarks; a single timed round keeps the suite fast)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

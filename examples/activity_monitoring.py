@@ -1,0 +1,62 @@
+"""Activity monitoring: detect activity transitions in wearable-sensor bags.
+
+Reproduces the logic of the paper's PAMAP experiment (Section 5.2 /
+Fig. 7) on the PAMAP-like simulator: a subject performs a protocol of
+physical activities while wearing simulated IMUs and a heart-rate monitor;
+the sensor stream is cut into 10-second bags with irregular record counts,
+and the detector is asked to flag the activity transitions.
+
+Run with::
+
+    python examples/activity_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BagChangePointDetector
+from repro.datasets import ACTIVITIES, PamapSimulator
+from repro.evaluation import match_alarms
+
+
+def main() -> None:
+    protocol = (1, 2, 3, 4, 8, 11, 2)  # lying, sitting, standing, ironing, walking, running, sitting
+    simulator = PamapSimulator(random_state=3, sampling_rate=40)
+    dataset = simulator.simulate_subject(protocol, bags_per_activity=10)
+
+    names = " -> ".join(ACTIVITIES[a] for a in protocol)
+    print(f"Protocol: {names}")
+    print(f"{len(dataset.bags)} bags of ~{int(dataset.sizes.mean())} sensor records; "
+          f"true transitions at {dataset.change_points}\n")
+
+    detector = BagChangePointDetector(
+        tau=5,
+        tau_test=5,
+        signature_method="kmeans",
+        n_clusters=8,
+        n_bootstrap=150,
+        random_state=0,
+    )
+    result = detector.detect(dataset.bags)
+
+    print("Alerts raised at:", result.alarm_times.tolist())
+    matching = match_alarms(result.alarm_times.tolist(), dataset.change_points, tolerance=4)
+    print(f"Detected {matching.true_positives}/{len(dataset.change_points)} transitions "
+          f"(precision {matching.precision:.2f}, recall {matching.recall:.2f}, "
+          f"mean delay {matching.mean_delay:.1f} bags)\n")
+
+    # A compact textual "Fig. 7": score profile with transition markers.
+    activity_per_bag = dataset.metadata["activity_per_bag"]
+    max_score = max(result.scores.max(), 1e-9)
+    print(" t  activity            score  profile")
+    for point in result:
+        bar = "#" * int(30 * max(point.score, 0.0) / max_score)
+        marker = " |CHANGE|" if point.time in dataset.change_points else ""
+        alert = " *ALERT*" if point.alert else ""
+        activity = ACTIVITIES[activity_per_bag[point.time]]
+        print(f"{point.time:3d}  {activity:<18} {point.score:7.3f}  {bar}{marker}{alert}")
+
+
+if __name__ == "__main__":
+    main()

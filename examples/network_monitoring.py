@@ -1,0 +1,65 @@
+"""Network monitoring: detect structural changes in a stream of bipartite graphs.
+
+Reproduces the logic of the paper's Section 5.3 / 5.4 experiments: a
+sender/receiver communication network is observed in fixed time windows;
+each window yields a bipartite graph whose node sets change over time.
+Seven per-node/per-edge statistics turn every graph into seven bags of
+1-D values, and the bag-of-data detector is run on each feature stream.
+
+Run with::
+
+    python examples/network_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BagChangePointDetector
+from repro.datasets import EnronLikeStream, OrganizationalEvent
+from repro.graphs import FEATURE_NAMES, feature_bag_sequences
+
+
+def main() -> None:
+    events = (
+        OrganizationalEvent(20, "chief executive resigns", traffic_factor=1.8, restructuring=0.3),
+        OrganizationalEvent(35, "quarterly loss announced", traffic_factor=2.2, restructuring=0.5),
+        OrganizationalEvent(48, "bankruptcy filing", traffic_factor=0.5, restructuring=0.8),
+    )
+    stream = EnronLikeStream(
+        n_weeks=60, events=events, random_state=1, mean_senders=80, mean_recipients=100
+    )
+    dataset = stream.generate()
+    print(f"{len(dataset.graphs)} weekly sender/recipient graphs; scripted events at "
+          f"{dataset.change_points}: {list(dataset.metadata['events'].values())}\n")
+
+    feature_streams = feature_bag_sequences(dataset.graphs)
+    detector_kwargs = dict(
+        tau=5,
+        tau_test=3,
+        signature_method="histogram",
+        bins=24,
+        n_bootstrap=120,
+        random_state=0,
+    )
+
+    detected_by: dict[int, list[str]] = {week: [] for week in dataset.change_points}
+    for feature_id, bags in feature_streams.items():
+        detector = BagChangePointDetector(**detector_kwargs)
+        result = detector.detect(bags)
+        name = FEATURE_NAMES[feature_id]
+        alarm_weeks = result.alarm_times.tolist()
+        print(f"feature {feature_id} ({name:<26}): alerts at {alarm_weeks}")
+        for event_week in dataset.change_points:
+            if any(event_week <= alarm <= event_week + 4 for alarm in alarm_weeks):
+                detected_by[event_week].append(name)
+
+    print("\nEvent coverage (which features flagged each scripted event):")
+    for week, label in dataset.metadata["events"].items():
+        features = detected_by.get(week, [])
+        status = ", ".join(features) if features else "NOT DETECTED"
+        print(f"  week {week:3d}  {label:<30} {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Survey drift: monitor the shape of a population that periodic surveys sample.
+
+The paper's introduction motivates the bag-of-data setting with periodic
+questionnaire surveys: each survey wave yields a different number of
+respondents, and the analyst cares about changes in the *overall
+characteristics* of the population, not about individual respondents.
+This example simulates such waves: the population mean stays constant but
+the population splits into two sub-groups over time — a change that is
+invisible to the per-wave mean yet clearly visible to the bag-of-data
+detector.  It also contrasts the offline detector with the streaming
+:class:`~repro.core.OnlineBagDetector`.
+
+Run with::
+
+    python examples/survey_drift.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BagChangePointDetector, OnlineBagDetector
+from repro.baselines import ChangeFinder, score_on_means
+
+
+def simulate_survey_waves(seed: int = 5) -> tuple[list[np.ndarray], int]:
+    """30 survey waves of 150-400 respondents answering two numeric questions.
+
+    For the first 18 waves the population is homogeneous; afterwards it
+    polarises into two sub-groups with opposite answer profiles whose
+    average stays the same.
+    """
+    rng = np.random.default_rng(seed)
+    waves = []
+    change_at = 18
+    for wave in range(30):
+        n_respondents = int(rng.integers(150, 401))
+        if wave < change_at:
+            answers = rng.normal([5.0, 5.0], 1.0, size=(n_respondents, 2))
+        else:
+            group = rng.random(n_respondents) < 0.5
+            answers = np.where(
+                group[:, None],
+                rng.normal([2.0, 8.0], 1.0, size=(n_respondents, 2)),
+                rng.normal([8.0, 2.0], 1.0, size=(n_respondents, 2)),
+            )
+        waves.append(answers)
+    return waves, change_at
+
+
+def main() -> None:
+    waves, change_at = simulate_survey_waves()
+    print(f"{len(waves)} survey waves; the population polarises from wave {change_at} on.\n")
+
+    # The per-wave mean barely moves, so a conventional detector on the mean
+    # sequence sees nothing.
+    means = np.array([wave.mean(axis=0) for wave in waves])
+    drift_of_means = np.linalg.norm(means[change_at:].mean(axis=0) - means[:change_at].mean(axis=0))
+    print(f"Shift of the wave means across the change: {drift_of_means:.3f} "
+          "(essentially nothing -> mean-based monitoring is blind here)")
+    baseline_scores = score_on_means(ChangeFinder(dim=2, discount=0.05), waves)
+    print(f"ChangeFinder on the mean sequence: max score after the change "
+          f"{baseline_scores[change_at:].max():.2f} vs before {baseline_scores[8:change_at].max():.2f}\n")
+
+    # Offline bag-of-data detection.
+    detector = BagChangePointDetector(
+        tau=5, tau_test=5, signature_method="kmeans", n_clusters=6,
+        n_bootstrap=200, random_state=0,
+    )
+    result = detector.detect(waves)
+    print("Offline detector alerts at waves:", result.alarm_times.tolist())
+
+    # Streaming detection: waves arrive one at a time.
+    online = OnlineBagDetector(
+        tau=5, tau_test=5, signature_method="kmeans", n_clusters=6,
+        n_bootstrap=200, random_state=0,
+    )
+    print("\nStreaming run (one survey wave at a time):")
+    for wave_index, wave in enumerate(waves):
+        point = online.push(wave)
+        if point is not None and point.alert:
+            print(f"  after receiving wave {wave_index}: ALERT for inspection point {point.time} "
+                  f"(score {point.score:.3f})")
+    if not online.history.alerts.any():
+        print("  no alerts raised")
+
+
+if __name__ == "__main__":
+    main()

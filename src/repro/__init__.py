@@ -1,0 +1,68 @@
+"""repro — change-point detection in a sequence of bags-of-data.
+
+A full reproduction of Koshijima, Hino & Murata, *Change-Point Detection
+in a Sequence of Bags-of-Data* (IEEE TKDE 27(10), 2015).  The package
+provides the complete pipeline of the paper — signatures, the Earth
+Mover's Distance, distance-based information estimators, the two
+change-point scores, and Bayesian-bootstrap adaptive thresholding — plus
+every substrate it depends on (vector quantisers, an LP/transportation
+solver, bipartite-graph feature extraction), the baselines it compares
+against, and the synthetic data generators used in its evaluation.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import BagChangePointDetector
+>>> rng = np.random.default_rng(7)
+>>> bags = [rng.normal(0.0, 1.0, size=(60, 2)) for _ in range(12)]
+>>> bags += [rng.normal(3.0, 1.0, size=(60, 2)) for _ in range(12)]
+>>> detector = BagChangePointDetector(tau=5, tau_test=5, random_state=0)
+>>> result = detector.detect(bags)
+>>> result.alarm_times  # doctest: +SKIP
+array([12])
+"""
+
+from .core import (
+    Bag,
+    BagChangePointDetector,
+    BagSequence,
+    DetectionResult,
+    DetectorConfig,
+    OnlineBagDetector,
+    ScorePoint,
+)
+from .emd import emd, emd_matrix, emd_with_flow
+from .exceptions import (
+    ConfigurationError,
+    EmptyBagError,
+    NotFittedError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+from .signatures import Signature, SignatureBuilder, build_signature
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bag",
+    "BagSequence",
+    "BagChangePointDetector",
+    "OnlineBagDetector",
+    "DetectorConfig",
+    "DetectionResult",
+    "ScorePoint",
+    "Signature",
+    "SignatureBuilder",
+    "build_signature",
+    "emd",
+    "emd_with_flow",
+    "emd_matrix",
+    "ReproError",
+    "ValidationError",
+    "EmptyBagError",
+    "SolverError",
+    "NotFittedError",
+    "ConfigurationError",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Baseline change-point detectors the paper compares against.
+
+All baselines operate on ordinary single-vector time series; the
+:mod:`repro.baselines.on_means` adapter applies them to the per-bag
+sample-mean sequence exactly as the paper does in its motivating example.
+"""
+
+from .change_finder import ChangeFinder, moving_average
+from .cusum import CusumDetector, CusumState
+from .density_ratio import RelativeDensityRatioDetector, relative_pearson_divergence
+from .kcd import KernelChangeDetection
+from .on_means import mean_sequence, score_on_means
+from .one_class_svm import (
+    OneClassSVM,
+    median_heuristic_gamma,
+    project_to_capped_simplex,
+    rbf_kernel,
+)
+from .sdar import SDAR
+from .sst import SingularSpectrumTransformation, hankel_matrix, subspace_dissimilarity
+
+__all__ = [
+    "SDAR",
+    "ChangeFinder",
+    "moving_average",
+    "OneClassSVM",
+    "rbf_kernel",
+    "median_heuristic_gamma",
+    "project_to_capped_simplex",
+    "KernelChangeDetection",
+    "SingularSpectrumTransformation",
+    "hankel_matrix",
+    "subspace_dissimilarity",
+    "RelativeDensityRatioDetector",
+    "relative_pearson_divergence",
+    "CusumDetector",
+    "CusumState",
+    "mean_sequence",
+    "score_on_means",
+]

@@ -1,0 +1,177 @@
+"""From-scratch one-class support vector machine (ν-OCSVM, dual form).
+
+The kernel change detection baseline of Desobry et al. (paper reference
+[9]) trains two one-class SVMs — one on the reference window and one on
+the test window — and compares the resulting descriptions in feature
+space.  This module provides the OCSVM itself; the change-detection logic
+lives in :mod:`repro.baselines.kcd`.
+
+The dual problem
+
+    min_α  ½ αᵀ K α    s.t.  0 ≤ α_i ≤ 1/(ν n),  Σ_i α_i = 1
+
+is solved by projected gradient descent; the projection onto the
+box-constrained simplex is computed exactly by bisection on the
+Lagrange-multiplier shift.  Window sizes in the change-detection setting
+are tens of points, for which this simple solver converges quickly and
+reliably.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import check_matrix
+from ..exceptions import NotFittedError, ValidationError
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """Gaussian radial-basis-function kernel matrix ``exp(−γ ||x − y||²)``."""
+    sq = (
+        np.sum(a**2, axis=1)[:, None]
+        - 2.0 * a @ b.T
+        + np.sum(b**2, axis=1)[None, :]
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return np.exp(-gamma * sq)
+
+
+def median_heuristic_gamma(data: np.ndarray) -> float:
+    """Bandwidth ``γ = 1 / (2 · median²)`` of pairwise distances (median heuristic)."""
+    data = check_matrix(data, "data")
+    n = data.shape[0]
+    if n < 2:
+        return 1.0
+    sq = (
+        np.sum(data**2, axis=1)[:, None]
+        - 2.0 * data @ data.T
+        + np.sum(data**2, axis=1)[None, :]
+    )
+    np.maximum(sq, 0.0, out=sq)
+    distances = np.sqrt(sq[np.triu_indices(n, k=1)])
+    median = float(np.median(distances))
+    if median <= 0:
+        return 1.0
+    return 1.0 / (2.0 * median**2)
+
+
+def project_to_capped_simplex(values: np.ndarray, cap: float) -> np.ndarray:
+    """Euclidean projection onto ``{α : 0 ≤ α_i ≤ cap, Σ α_i = 1}``.
+
+    Found by bisection on the shift μ in ``α_i = clip(values_i − μ, 0, cap)``.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    n = values.shape[0]
+    if cap * n < 1.0 - 1e-12:
+        raise ValidationError("cap * n must be at least 1 for the projection to exist")
+    lo = values.min() - 1.0
+    hi = values.max()
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        total = np.clip(values - mid, 0.0, cap).sum()
+        if total > 1.0:
+            lo = mid
+        else:
+            hi = mid
+    return np.clip(values - 0.5 * (lo + hi), 0.0, cap)
+
+
+class OneClassSVM:
+    """ν-one-class SVM with an RBF kernel, trained in the dual.
+
+    Parameters
+    ----------
+    nu:
+        Upper bound on the fraction of outliers / lower bound on the
+        fraction of support vectors, in ``(0, 1]``.
+    gamma:
+        RBF bandwidth; ``None`` selects the median heuristic per fit.
+    n_iter:
+        Projected-gradient iterations.
+    learning_rate:
+        Step size of the projected gradient; scaled by the Lipschitz
+        constant (largest kernel eigenvalue) internally.
+    """
+
+    def __init__(
+        self,
+        nu: float = 0.2,
+        gamma: Optional[float] = None,
+        *,
+        n_iter: int = 300,
+        learning_rate: float = 1.0,
+    ):
+        if not 0.0 < nu <= 1.0:
+            raise ValidationError("nu must lie in (0, 1]")
+        self.nu = float(nu)
+        self.gamma = gamma
+        self.n_iter = int(n_iter)
+        self.learning_rate = float(learning_rate)
+        self.alpha_: Optional[np.ndarray] = None
+        self.support_: Optional[np.ndarray] = None
+        self.rho_: Optional[float] = None
+        self.gamma_: Optional[float] = None
+        self._train_data: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, data: np.ndarray) -> "OneClassSVM":
+        """Fit the one-class description to ``data`` of shape ``(n, d)``."""
+        data = check_matrix(data, "data")
+        n = data.shape[0]
+        gamma = self.gamma if self.gamma is not None else median_heuristic_gamma(data)
+        kernel = rbf_kernel(data, data, gamma)
+        cap = 1.0 / max(self.nu * n, 1.0)
+        cap = max(cap, 1.0 / n)  # ensure feasibility of the simplex constraint
+
+        alpha = np.full(n, 1.0 / n)
+        # Lipschitz constant of the gradient is the largest eigenvalue of K.
+        lipschitz = float(np.linalg.eigvalsh(kernel)[-1])
+        step = self.learning_rate / max(lipschitz, 1e-12)
+        for _ in range(self.n_iter):
+            gradient = kernel @ alpha
+            alpha_new = project_to_capped_simplex(alpha - step * gradient, cap)
+            if np.max(np.abs(alpha_new - alpha)) < 1e-10:
+                alpha = alpha_new
+                break
+            alpha = alpha_new
+
+        self.alpha_ = alpha
+        self.gamma_ = gamma
+        self._train_data = data
+        self.support_ = np.where(alpha > 1e-8)[0]
+        # ρ is the decision value at the margin support vectors
+        # (0 < α_i < cap); fall back to the mean over support vectors.
+        decision = kernel @ alpha
+        margin = np.where((alpha > 1e-8) & (alpha < cap - 1e-8))[0]
+        reference = margin if margin.size > 0 else self.support_
+        self.rho_ = float(decision[reference].mean())
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def _check_fitted(self) -> None:
+        if self.alpha_ is None or self._train_data is None:
+            raise NotFittedError("OneClassSVM must be fitted before use")
+
+    def decision_function(self, data: np.ndarray) -> np.ndarray:
+        """Signed score ``Σ α_i k(x_i, x) − ρ`` (positive inside the support)."""
+        self._check_fitted()
+        data = check_matrix(data, "data")
+        kernel = rbf_kernel(data, self._train_data, self.gamma_)
+        return kernel @ self.alpha_ - self.rho_
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """``+1`` for inliers, ``−1`` for outliers."""
+        return np.where(self.decision_function(data) >= 0, 1, -1)
+
+    @property
+    def center_norm_squared(self) -> float:
+        """``αᵀ K α`` — squared norm of the weighted centre in feature space."""
+        self._check_fitted()
+        kernel = rbf_kernel(self._train_data, self._train_data, self.gamma_)
+        return float(self.alpha_ @ kernel @ self.alpha_)

@@ -1,0 +1,89 @@
+"""Singular spectrum transformation (SST) change-point baseline.
+
+References [10] and [11] of the paper detect changes by comparing the
+dominant subspaces of two trajectory (Hankel) matrices built from the
+points before and after the inspection point.  The change-point score is
+``1 − σ_max``, where ``σ_max`` is the largest singular value of the
+product of the two orthonormal subspace bases (the cosine of the smallest
+principal angle).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_positive_int, check_vector
+from ..exceptions import ValidationError
+
+
+def hankel_matrix(values: np.ndarray, window: int, n_columns: int) -> np.ndarray:
+    """Trajectory matrix whose columns are lagged windows of the series."""
+    values = check_vector(values, "values")
+    window = check_positive_int(window, "window")
+    n_columns = check_positive_int(n_columns, "n_columns")
+    needed = window + n_columns - 1
+    if values.shape[0] < needed:
+        raise ValidationError(
+            f"need at least {needed} values for window={window}, n_columns={n_columns}"
+        )
+    return np.column_stack([values[i : i + window] for i in range(n_columns)])
+
+
+def subspace_dissimilarity(matrix_a: np.ndarray, matrix_b: np.ndarray, rank: int) -> float:
+    """``1 − cos(smallest principal angle)`` between the two column spaces."""
+    u_a, _, _ = np.linalg.svd(matrix_a, full_matrices=False)
+    u_b, _, _ = np.linalg.svd(matrix_b, full_matrices=False)
+    rank_a = min(rank, u_a.shape[1])
+    rank_b = min(rank, u_b.shape[1])
+    overlap = u_a[:, :rank_a].T @ u_b[:, :rank_b]
+    singular_values = np.linalg.svd(overlap, compute_uv=False)
+    largest = float(singular_values[0]) if singular_values.size else 0.0
+    return float(np.clip(1.0 - largest, 0.0, 1.0))
+
+
+class SingularSpectrumTransformation:
+    """Sliding-window SST change-point scoring of a univariate series.
+
+    Parameters
+    ----------
+    window:
+        Length of each lagged column of the trajectory matrices.
+    n_columns:
+        Number of columns of each trajectory matrix.
+    rank:
+        Number of leading left singular vectors kept from each matrix.
+    """
+
+    def __init__(self, window: int = 10, n_columns: int = 10, rank: int = 2):
+        self.window = check_positive_int(window, "window", minimum=2)
+        self.n_columns = check_positive_int(n_columns, "n_columns", minimum=2)
+        self.rank = check_positive_int(rank, "rank")
+
+    @property
+    def span(self) -> int:
+        """Number of points consumed on each side of the inspection point."""
+        return self.window + self.n_columns - 1
+
+    def score(self, values: np.ndarray) -> np.ndarray:
+        """Change-point score at every index (0 where windows do not fit)."""
+        values = check_vector(values, "values")
+        n = values.shape[0]
+        scores = np.zeros(n, dtype=float)
+        span = self.span
+        for t in range(span, n - span + 1):
+            past = hankel_matrix(values[t - span : t], self.window, self.n_columns)
+            future = hankel_matrix(values[t : t + span], self.window, self.n_columns)
+            scores[t] = subspace_dissimilarity(past, future, self.rank)
+        return scores
+
+    def detect(self, values: np.ndarray, threshold: Optional[float] = None) -> np.ndarray:
+        """Indices whose score exceeds ``threshold`` (default mean + 2·std)."""
+        scores = self.score(values)
+        active = scores[scores > 0]
+        if active.size == 0:
+            return np.array([], dtype=int)
+        if threshold is None:
+            threshold = float(active.mean() + 2.0 * active.std())
+        return np.where(scores > threshold)[0]

@@ -1,0 +1,21 @@
+"""Bootstrap machinery for adaptive thresholding (paper Section 4)."""
+
+from .bayesian import BayesianBootstrap, StatisticOfWeights
+from .dirichlet import (
+    dirichlet_moments,
+    sample_uniform_dirichlet_weights,
+    sample_weighted_dirichlet_weights,
+)
+from .intervals import ConfidenceInterval, percentile_interval
+from .standard import StandardBootstrap
+
+__all__ = [
+    "BayesianBootstrap",
+    "StandardBootstrap",
+    "StatisticOfWeights",
+    "ConfidenceInterval",
+    "percentile_interval",
+    "sample_uniform_dirichlet_weights",
+    "sample_weighted_dirichlet_weights",
+    "dirichlet_moments",
+]

@@ -1,0 +1,37 @@
+"""Core change-point detection pipeline (paper Sections 2-4)."""
+
+from .bag import Bag, BagSequence
+from .config import DetectorConfig
+from .detector import BagChangePointDetector
+from .online import OnlineBagDetector
+from .results import DetectionResult, ScorePoint
+from .scores import (
+    WindowDistances,
+    compute_score,
+    score_likelihood_ratio,
+    score_symmetric_kl,
+)
+from .segmentation import Segment, merge_close_alarms, segment_from_result, segment_stream
+from .thresholding import AdaptiveThreshold, apply_threshold, gamma_statistic, is_significant
+
+__all__ = [
+    "Bag",
+    "BagSequence",
+    "DetectorConfig",
+    "BagChangePointDetector",
+    "OnlineBagDetector",
+    "DetectionResult",
+    "ScorePoint",
+    "Segment",
+    "segment_stream",
+    "segment_from_result",
+    "merge_close_alarms",
+    "WindowDistances",
+    "compute_score",
+    "score_likelihood_ratio",
+    "score_symmetric_kl",
+    "AdaptiveThreshold",
+    "apply_threshold",
+    "gamma_statistic",
+    "is_significant",
+]

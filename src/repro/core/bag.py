@@ -1,0 +1,197 @@
+"""Bag and bag-sequence containers (paper Section 2).
+
+A *bag* ``B_t = {x_i^(t)}`` is the observation at a single time step: a
+collection of ``d``-dimensional vectors whose size ``n_t`` may vary over
+time.  A :class:`BagSequence` is the time-ordered stream of bags that the
+change-point detector consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_matrix
+from ..exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Bag:
+    """A single bag of observations.
+
+    Attributes
+    ----------
+    data:
+        Array of shape ``(n_t, d)`` with the observations of this time step.
+    index:
+        The time index (or any identifying label) of the bag.
+    """
+
+    data: np.ndarray
+    index: Optional[object] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        data = check_matrix(self.data, "data")
+        data = data.copy()
+        data.setflags(write=False)
+        object.__setattr__(self, "data", data)
+
+    @property
+    def size(self) -> int:
+        """Number of observations ``n_t`` in the bag."""
+        return int(self.data.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality ``d`` of each observation."""
+        return int(self.data.shape[1])
+
+    def mean(self) -> np.ndarray:
+        """Sample mean of the bag (the summary that loses shape information,
+        used by the paper's Fig. 1 to show why descriptive statistics fail)."""
+        return self.data.mean(axis=0)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Bag(index={self.index!r}, size={self.size}, dimension={self.dimension})"
+
+
+class BagSequence:
+    """A time-ordered sequence of bags with a common dimensionality.
+
+    Parameters
+    ----------
+    bags:
+        Iterable of :class:`Bag` objects or raw ``(n_t, d)`` arrays.
+    indices:
+        Optional time labels; defaults to ``0, 1, 2, …``.
+    """
+
+    def __init__(
+        self,
+        bags: Iterable,
+        indices: Optional[Sequence[object]] = None,
+    ):
+        materialised: List[Bag] = []
+        for position, item in enumerate(bags):
+            label = indices[position] if indices is not None else position
+            if isinstance(item, Bag):
+                bag = item if item.index is not None and indices is None else Bag(item.data, label)
+            else:
+                bag = Bag(np.asarray(item, dtype=float), label)
+            materialised.append(bag)
+        if not materialised:
+            raise ValidationError("a BagSequence needs at least one bag")
+        dims = {bag.dimension for bag in materialised}
+        if len(dims) != 1:
+            raise ValidationError(
+                f"all bags must share the same dimensionality; found {sorted(dims)}"
+            )
+        self._bags = materialised
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._bags)
+
+    def __iter__(self) -> Iterator[Bag]:
+        return iter(self._bags)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return BagSequence(self._bags[item])
+        return self._bags[item]
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Common dimensionality of all bags."""
+        return self._bags[0].dimension
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Array of bag sizes ``n_t``."""
+        return np.array([bag.size for bag in self._bags], dtype=int)
+
+    @property
+    def indices(self) -> list:
+        """Time labels of the bags."""
+        return [bag.index for bag in self._bags]
+
+    @property
+    def bags(self) -> List[Bag]:
+        """The underlying list of bags (do not mutate)."""
+        return list(self._bags)
+
+    # ------------------------------------------------------------------ #
+    # Views and summaries
+    # ------------------------------------------------------------------ #
+    def arrays(self) -> List[np.ndarray]:
+        """The raw data arrays of all bags, in order."""
+        return [bag.data for bag in self._bags]
+
+    def window(self, start: int, length: int) -> "BagSequence":
+        """Sub-sequence of ``length`` bags starting at position ``start``."""
+        if start < 0 or length <= 0 or start + length > len(self._bags):
+            raise ValidationError(
+                f"invalid window [{start}, {start + length}) for a sequence of "
+                f"length {len(self._bags)}"
+            )
+        return BagSequence(self._bags[start : start + length])
+
+    def mean_sequence(self) -> np.ndarray:
+        """Sequence of per-bag sample means, shape ``(T, d)``.
+
+        This is the descriptive-statistics summary that conventional
+        (single-vector) change-point detectors are run on in the paper's
+        motivating example (Fig. 1(b)).
+        """
+        return np.vstack([bag.mean() for bag in self._bags])
+
+    def stack(self) -> np.ndarray:
+        """All observations from all bags stacked into one ``(Σ n_t, d)`` array."""
+        return np.vstack([bag.data for bag in self._bags])
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_arrays(arrays: Sequence[np.ndarray]) -> "BagSequence":
+        """Build a sequence from a list of ``(n_t, d)`` arrays."""
+        return BagSequence(arrays)
+
+    @staticmethod
+    def from_long_format(
+        times: np.ndarray, values: np.ndarray
+    ) -> "BagSequence":
+        """Build a sequence from long-format data.
+
+        Parameters
+        ----------
+        times:
+            Length-``N`` vector assigning each observation to a time step;
+            bags are formed by grouping equal values, ordered by sorted
+            unique time.
+        values:
+            ``(N, d)`` array (or length-``N`` vector) of observations.
+        """
+        times = np.asarray(times).ravel()
+        values = check_matrix(values, "values")
+        if times.shape[0] != values.shape[0]:
+            raise ValidationError("times and values must have the same length")
+        unique_times = np.unique(times)
+        bags = [Bag(values[times == t], index=t) for t in unique_times]
+        return BagSequence(bags)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BagSequence(n_bags={len(self)}, dimension={self.dimension}, "
+            f"mean_bag_size={self.sizes.mean():.1f})"
+        )

@@ -1,0 +1,96 @@
+"""Configuration object for the bag-of-data change-point detector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..information import EstimatorConfig
+
+_SCORES = ("kl", "lr")
+_WEIGHTING = ("uniform", "discounted")
+_SIGNATURE_METHODS = ("kmeans", "kmedoids", "histogram", "lvq", "exact")
+
+
+@dataclass
+class DetectorConfig:
+    """All tunable parameters of :class:`~repro.core.BagChangePointDetector`.
+
+    Attributes
+    ----------
+    tau:
+        Number of bags in the reference (past) window, ``τ`` in the paper.
+    tau_test:
+        Number of bags in the test (future) window, ``τ′``.
+    score:
+        ``"kl"`` for the symmetrised KL-divergence score (Eq. 17, the
+        paper's default for the experiments) or ``"lr"`` for the
+        log-likelihood-ratio score (Eq. 16).
+    signature_method:
+        Quantiser used to build signatures (paper Section 3.1).
+    n_clusters:
+        Number of signature representatives for clustering quantisers.
+    bins:
+        Bins per dimension for the histogram quantiser.
+    histogram_range:
+        Optional fixed histogram range shared by all bags.
+    ground_distance:
+        Ground distance of the EMD (Section 3.2).
+    emd_backend:
+        ``"auto"``, ``"linprog"`` or ``"simplex"``.
+    weighting:
+        ``"uniform"`` (paper's experiments) or ``"discounted"`` (Eq. 15).
+    n_bootstrap:
+        Number of Bayesian-bootstrap replicates ``T`` per time step.
+    alpha:
+        Significance level of the confidence intervals (0.05 → 95% CI).
+    estimator:
+        Constants of the information estimators (``c``, ``d``,
+        distance floor).
+    random_state:
+        Seed or generator controlling signature construction and the
+        bootstrap.
+    """
+
+    tau: int = 5
+    tau_test: int = 5
+    score: str = "kl"
+    signature_method: str = "kmeans"
+    n_clusters: int = 8
+    bins: Union[int, Sequence[int]] = 10
+    histogram_range: Optional[Sequence] = None
+    ground_distance: str = "euclidean"
+    emd_backend: str = "auto"
+    weighting: str = "uniform"
+    n_bootstrap: int = 200
+    alpha: float = 0.05
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    random_state: Union[None, int, np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.tau < 2:
+            raise ConfigurationError("tau must be at least 2 (the reference window needs >= 2 bags)")
+        if self.tau_test < 2:
+            raise ConfigurationError("tau_test must be at least 2 (the test window needs >= 2 bags)")
+        if self.score not in _SCORES:
+            raise ConfigurationError(f"score must be one of {_SCORES}, got {self.score!r}")
+        if self.signature_method not in _SIGNATURE_METHODS:
+            raise ConfigurationError(
+                f"signature_method must be one of {_SIGNATURE_METHODS}, got {self.signature_method!r}"
+            )
+        if self.weighting not in _WEIGHTING:
+            raise ConfigurationError(
+                f"weighting must be one of {_WEIGHTING}, got {self.weighting!r}"
+            )
+        if self.n_bootstrap < 2:
+            raise ConfigurationError("n_bootstrap must be at least 2")
+        if not 0.0 < self.alpha < 1.0:
+            raise ConfigurationError("alpha must lie strictly between 0 and 1")
+
+    @property
+    def window_span(self) -> int:
+        """Total number of bags needed around an inspection point (τ + τ′)."""
+        return self.tau + self.tau_test

@@ -1,0 +1,172 @@
+"""Streaming (online) variant of the bag-of-data change-point detector.
+
+Bags are pushed one at a time; a score for inspection point ``t`` can be
+emitted as soon as the τ′-th bag of its test window (i.e. bag
+``t + τ′ − 1``) has arrived, so the detector reports with an inherent lag
+of τ′ − 1 steps.  Pairwise EMD values are cached and old signatures are
+discarded once they can no longer participate in any window, keeping
+memory bounded by O((τ + τ′)²) distances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .._validation import as_rng
+from ..bootstrap import BayesianBootstrap, percentile_interval
+from ..emd import emd
+from ..information import resolve_weights
+from ..signatures import Signature, SignatureBuilder
+from .config import DetectorConfig
+from .results import DetectionResult, ScorePoint
+from .scores import WindowDistances, compute_score
+from .thresholding import AdaptiveThreshold
+
+
+class OnlineBagDetector:
+    """Incremental detector consuming one bag per :meth:`push` call.
+
+    Parameters
+    ----------
+    config:
+        Detector configuration (same object as the offline detector).
+
+    Notes
+    -----
+    :meth:`push` returns ``None`` until enough bags have arrived to form a
+    complete reference + test window; afterwards it returns one
+    :class:`~repro.core.ScorePoint` per call, for the inspection point
+    ``t = current_index − τ′ + 1``.
+    """
+
+    def __init__(self, config: Optional[DetectorConfig] = None, **kwargs):
+        if config is None:
+            config = DetectorConfig(**kwargs)
+        self.config = config
+        self._rng = as_rng(config.random_state)
+        self._builder = SignatureBuilder(
+            config.signature_method,
+            n_clusters=config.n_clusters,
+            bins=config.bins,
+            histogram_range=config.histogram_range,
+            random_state=self._rng,
+        )
+        self._bootstrap = BayesianBootstrap(
+            config.n_bootstrap, alpha=config.alpha, rng=self._rng
+        )
+        self._threshold = AdaptiveThreshold(config.tau_test)
+        self._ref_base = resolve_weights(config.weighting, config.tau, is_test=False)
+        self._test_base = resolve_weights(config.weighting, config.tau_test, is_test=True)
+
+        self._signatures: Deque[Tuple[int, Signature]] = deque(maxlen=config.window_span)
+        self._distances: Dict[Tuple[int, int], float] = {}
+        self._next_index = 0
+        self._history: List[ScorePoint] = []
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _distance(self, idx_a: int, sig_a: Signature, idx_b: int, sig_b: Signature) -> float:
+        key = (idx_a, idx_b) if idx_a <= idx_b else (idx_b, idx_a)
+        if key not in self._distances:
+            self._distances[key] = emd(
+                sig_a,
+                sig_b,
+                ground_distance=self.config.ground_distance,
+                backend=self.config.emd_backend,
+            )
+        return self._distances[key]
+
+    def _prune_cache(self) -> None:
+        """Drop cached distances involving indices that fell out of the window."""
+        if not self._signatures:
+            return
+        oldest = self._signatures[0][0]
+        stale = [key for key in self._distances if key[0] < oldest or key[1] < oldest]
+        for key in stale:
+            del self._distances[key]
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def n_seen(self) -> int:
+        """Number of bags pushed so far."""
+        return self._next_index
+
+    @property
+    def history(self) -> DetectionResult:
+        """All score points emitted so far, as a :class:`DetectionResult`."""
+        return DetectionResult(points=list(self._history))
+
+    def push(self, bag: np.ndarray) -> Optional[ScorePoint]:
+        """Consume one bag; return a score point once the window is full."""
+        cfg = self.config
+        index = self._next_index
+        self._next_index += 1
+        signature = self._builder.build(np.asarray(bag, dtype=float), label=index)
+        self._signatures.append((index, signature))
+        self._prune_cache()
+
+        if len(self._signatures) < cfg.window_span:
+            return None
+
+        entries = list(self._signatures)
+        ref_entries = entries[: cfg.tau]
+        test_entries = entries[cfg.tau :]
+        inspection_time = test_entries[0][0]
+
+        ref_pair = np.zeros((cfg.tau, cfg.tau))
+        for i in range(cfg.tau):
+            for j in range(i + 1, cfg.tau):
+                ref_pair[i, j] = ref_pair[j, i] = self._distance(
+                    ref_entries[i][0], ref_entries[i][1], ref_entries[j][0], ref_entries[j][1]
+                )
+        test_pair = np.zeros((cfg.tau_test, cfg.tau_test))
+        for i in range(cfg.tau_test):
+            for j in range(i + 1, cfg.tau_test):
+                test_pair[i, j] = test_pair[j, i] = self._distance(
+                    test_entries[i][0], test_entries[i][1], test_entries[j][0], test_entries[j][1]
+                )
+        cross = np.zeros((cfg.tau, cfg.tau_test))
+        for i in range(cfg.tau):
+            for j in range(cfg.tau_test):
+                cross[i, j] = self._distance(
+                    ref_entries[i][0], ref_entries[i][1], test_entries[j][0], test_entries[j][1]
+                )
+
+        window = WindowDistances(ref_pairwise=ref_pair, test_pairwise=test_pair, cross=cross)
+        point_score = compute_score(
+            cfg.score, window, self._ref_base, self._test_base, config=cfg.estimator
+        )
+        ref_resampled = self._bootstrap.resample_weights(cfg.tau, self._ref_base)
+        test_resampled = self._bootstrap.resample_weights(cfg.tau_test, self._test_base)
+        replicated = np.array(
+            [
+                compute_score(cfg.score, window, rw, tw, config=cfg.estimator)
+                for rw, tw in zip(ref_resampled, test_resampled)
+            ]
+        )
+        interval = percentile_interval(replicated, cfg.alpha, point=point_score)
+        gamma, alert = self._threshold.update(inspection_time, interval)
+        point = ScorePoint(
+            time=inspection_time,
+            score=point_score,
+            interval=interval,
+            gamma=gamma,
+            alert=alert,
+        )
+        self._history.append(point)
+        return point
+
+    def push_many(self, bags) -> List[ScorePoint]:
+        """Push a sequence of bags, returning the score points that were emitted."""
+        emitted: List[ScorePoint] = []
+        for bag in bags:
+            point = self.push(bag)
+            if point is not None:
+                emitted.append(point)
+        return emitted

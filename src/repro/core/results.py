@@ -1,0 +1,121 @@
+"""Result containers returned by the detectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..bootstrap import ConfidenceInterval
+
+
+@dataclass(frozen=True)
+class ScorePoint:
+    """Score, confidence interval and alert decision at one inspection point.
+
+    Attributes
+    ----------
+    time:
+        Index of the inspection point ``t`` (position of the first test bag
+        in the original sequence).
+    score:
+        Point estimate of the change-point score with the nominal weights.
+    interval:
+        Bayesian-bootstrap confidence interval of the score.
+    gamma:
+        Test statistic ``γ_t = θ_lo(t) − θ_up(t − τ′)`` (paper Eq. 20);
+        ``nan`` when no comparison interval exists yet.
+    alert:
+        Whether a significant change was declared at ``t`` (``γ_t > 0``).
+    """
+
+    time: int
+    score: float
+    interval: ConfidenceInterval
+    gamma: float = float("nan")
+    alert: bool = False
+
+
+@dataclass
+class DetectionResult:
+    """Full output of a change-point detection run.
+
+    The per-time-step information is held in :attr:`points`; convenience
+    array views (:attr:`times`, :attr:`scores`, …) are provided for
+    plotting and evaluation.
+    """
+
+    points: List[ScorePoint] = field(default_factory=list)
+    emd_matrix: Optional[np.ndarray] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Array views
+    # ------------------------------------------------------------------ #
+    @property
+    def times(self) -> np.ndarray:
+        """Inspection-point indices."""
+        return np.array([p.time for p in self.points], dtype=int)
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Point estimates of the change-point score."""
+        return np.array([p.score for p in self.points], dtype=float)
+
+    @property
+    def lower(self) -> np.ndarray:
+        """Lower confidence bounds ``θ_lo(t)``."""
+        return np.array([p.interval.lower for p in self.points], dtype=float)
+
+    @property
+    def upper(self) -> np.ndarray:
+        """Upper confidence bounds ``θ_up(t)``."""
+        return np.array([p.interval.upper for p in self.points], dtype=float)
+
+    @property
+    def gammas(self) -> np.ndarray:
+        """Test statistics ``γ_t``."""
+        return np.array([p.gamma for p in self.points], dtype=float)
+
+    @property
+    def alerts(self) -> np.ndarray:
+        """Boolean alert flags."""
+        return np.array([p.alert for p in self.points], dtype=bool)
+
+    @property
+    def alarm_times(self) -> np.ndarray:
+        """Times at which alerts were raised."""
+        return self.times[self.alerts]
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def to_dict(self) -> Dict[str, list]:
+        """Plain-python dictionary view (useful for CSV/JSON export)."""
+        return {
+            "time": self.times.tolist(),
+            "score": self.scores.tolist(),
+            "lower": self.lower.tolist(),
+            "upper": self.upper.tolist(),
+            "gamma": [None if np.isnan(g) else float(g) for g in self.gammas],
+            "alert": self.alerts.tolist(),
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary of the run."""
+        n_alerts = int(self.alerts.sum())
+        if len(self.points) == 0:
+            return "DetectionResult(empty)"
+        return (
+            f"DetectionResult: {len(self.points)} inspection points "
+            f"(t={self.times[0]}..{self.times[-1]}), "
+            f"{n_alerts} alert(s) at {self.alarm_times.tolist()}, "
+            f"max score {self.scores.max():.4f}"
+        )

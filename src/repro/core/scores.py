@@ -1,0 +1,165 @@
+"""Change-point scores on reference/test windows (paper Section 3.3).
+
+Two scores are defined over the weighted reference set ``S_ref`` (the τ
+bags before the inspection point ``t``) and the weighted test set
+``S_test`` (the τ′ bags from ``t`` onward):
+
+* :func:`score_likelihood_ratio` — Eq. 16,
+  ``score_LR(S_t) = I(S_t; S_ref) − I(S_t; S_test \\ S_t)``;
+* :func:`score_symmetric_kl` — Eq. 17,
+  ``score_KL(S_t) = ½[H(S_ref,S_test) − H(S_ref) + H(S_ref,S_test) − H(S_test)]``.
+
+Both are written as functions of precomputed EMD matrices and of the
+window weight vectors, so the Bayesian bootstrap can resample the weights
+cheaply without recomputing any distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ValidationError
+from ..information import (
+    DEFAULT_CONFIG,
+    EstimatorConfig,
+    auto_entropy,
+    cross_entropy,
+    information_content,
+)
+
+
+@dataclass(frozen=True)
+class WindowDistances:
+    """EMD matrices for one inspection point.
+
+    Attributes
+    ----------
+    ref_pairwise:
+        ``(τ, τ)`` symmetric matrix of EMDs within the reference window.
+    test_pairwise:
+        ``(τ′, τ′)`` symmetric matrix of EMDs within the test window.
+    cross:
+        ``(τ, τ′)`` matrix with ``EMD(S_ref_i, S_test_j)``.
+    """
+
+    ref_pairwise: np.ndarray
+    test_pairwise: np.ndarray
+    cross: np.ndarray
+
+    def __post_init__(self) -> None:
+        ref = np.asarray(self.ref_pairwise, dtype=float)
+        test = np.asarray(self.test_pairwise, dtype=float)
+        cross = np.asarray(self.cross, dtype=float)
+        if ref.ndim != 2 or ref.shape[0] != ref.shape[1]:
+            raise ValidationError("ref_pairwise must be a square matrix")
+        if test.ndim != 2 or test.shape[0] != test.shape[1]:
+            raise ValidationError("test_pairwise must be a square matrix")
+        if cross.shape != (ref.shape[0], test.shape[0]):
+            raise ValidationError(
+                f"cross must have shape ({ref.shape[0]}, {test.shape[0]}), got {cross.shape}"
+            )
+        object.__setattr__(self, "ref_pairwise", ref)
+        object.__setattr__(self, "test_pairwise", test)
+        object.__setattr__(self, "cross", cross)
+
+    @property
+    def n_reference(self) -> int:
+        """Number of bags in the reference window (τ)."""
+        return int(self.ref_pairwise.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        """Number of bags in the test window (τ′)."""
+        return int(self.test_pairwise.shape[0])
+
+
+def _check_weights(distances: WindowDistances, ref_weights, test_weights):
+    ref_w = np.asarray(ref_weights, dtype=float).ravel()
+    test_w = np.asarray(test_weights, dtype=float).ravel()
+    if ref_w.shape[0] != distances.n_reference:
+        raise ValidationError(
+            f"ref_weights has length {ref_w.shape[0]}, expected {distances.n_reference}"
+        )
+    if test_w.shape[0] != distances.n_test:
+        raise ValidationError(
+            f"test_weights has length {test_w.shape[0]}, expected {distances.n_test}"
+        )
+    return ref_w, test_w
+
+
+def score_symmetric_kl(
+    distances: WindowDistances,
+    ref_weights: np.ndarray,
+    test_weights: np.ndarray,
+    *,
+    config: EstimatorConfig = DEFAULT_CONFIG,
+) -> float:
+    """Symmetrised KL-divergence change-point score (paper Eq. 17).
+
+    ``½ [D_KL(S_ref || S_test) + D_KL(S_test || S_ref)]`` expressed with the
+    distance-based estimators as
+    ``H(S_ref, S_test) − ½ (H(S_ref) + H(S_test))``.
+    """
+    ref_w, test_w = _check_weights(distances, ref_weights, test_weights)
+    h_cross = cross_entropy(distances.cross, ref_w, test_w, config=config)
+    h_ref = auto_entropy(distances.ref_pairwise, ref_w, config=config)
+    h_test = auto_entropy(distances.test_pairwise, test_w, config=config)
+    return h_cross - 0.5 * (h_ref + h_test)
+
+
+def score_likelihood_ratio(
+    distances: WindowDistances,
+    ref_weights: np.ndarray,
+    test_weights: np.ndarray,
+    *,
+    config: EstimatorConfig = DEFAULT_CONFIG,
+    inspection_index: int = 0,
+) -> float:
+    """Log-likelihood-ratio change-point score (paper Eq. 16).
+
+    ``score_LR(S_t) = I(S_t; S_ref) − I(S_t; S_test \\ S_t)``, where ``S_t``
+    is the signature at position ``inspection_index`` of the test window
+    (the paper always uses the first test bag, i.e. the bag observed at the
+    inspection point itself).
+    """
+    ref_w, test_w = _check_weights(distances, ref_weights, test_weights)
+    k = int(inspection_index)
+    if not 0 <= k < distances.n_test:
+        raise ConfigurationError(
+            f"inspection_index must lie in [0, {distances.n_test}), got {k}"
+        )
+    if distances.n_test < 2:
+        raise ConfigurationError("the test window needs at least 2 bags for score_LR")
+
+    # I(S_t; S_ref): distances from every reference signature to S_t.
+    dist_ref_to_t = distances.cross[:, k]
+    info_ref = information_content(dist_ref_to_t, ref_w, config=config)
+
+    # I(S_t; S_test \ S_t): remaining test signatures, weights renormalised.
+    mask = np.arange(distances.n_test) != k
+    dist_test_to_t = distances.test_pairwise[mask, k]
+    remaining_weights = test_w[mask]
+    if remaining_weights.sum() <= 0:
+        raise ValidationError("test weights excluding the inspection bag must have positive mass")
+    info_test = information_content(dist_test_to_t, remaining_weights, config=config)
+    return info_ref - info_test
+
+
+def compute_score(
+    kind: str,
+    distances: WindowDistances,
+    ref_weights: np.ndarray,
+    test_weights: np.ndarray,
+    *,
+    config: EstimatorConfig = DEFAULT_CONFIG,
+) -> float:
+    """Dispatch to :func:`score_symmetric_kl` (``"kl"``) or
+    :func:`score_likelihood_ratio` (``"lr"``)."""
+    name = str(kind).lower()
+    if name == "kl":
+        return score_symmetric_kl(distances, ref_weights, test_weights, config=config)
+    if name == "lr":
+        return score_likelihood_ratio(distances, ref_weights, test_weights, config=config)
+    raise ConfigurationError(f"unknown score kind {kind!r}; expected 'kl' or 'lr'")

@@ -1,0 +1,138 @@
+"""Segmentation of bag streams from detected change points.
+
+The paper's introduction motivates change-point detection as a
+preprocessing step: before fitting prediction models, time series should
+be segmented at dramatic changes.  This module turns a
+:class:`~repro.core.DetectionResult` (or an explicit list of alarm times)
+into a segmentation of the original bag stream, merging alarms that are
+closer than a minimum segment length and providing per-segment summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+from .results import DetectionResult
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of bags between two consecutive (merged) change points.
+
+    Attributes
+    ----------
+    start:
+        Index of the first bag in the segment (inclusive).
+    end:
+        Index one past the last bag (exclusive), so ``end - start`` is the
+        segment length.
+    mean:
+        Mean of all observations pooled over the segment's bags (``None``
+        when the segmentation was built without the bags).
+    n_observations:
+        Total number of observations pooled over the segment's bags
+        (0 when unknown).
+    """
+
+    start: int
+    end: int
+    mean: Optional[np.ndarray] = None
+    n_observations: int = 0
+
+    @property
+    def length(self) -> int:
+        """Number of bags in the segment."""
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValidationError(f"empty segment [{self.start}, {self.end})")
+
+
+def merge_close_alarms(alarm_times: Sequence[int], min_gap: int) -> List[int]:
+    """Collapse alarms that are fewer than ``min_gap`` steps apart.
+
+    Consecutive alarms produced while the detector's windows straddle a
+    single change are reported as one change point (the earliest alarm of
+    each run is kept).
+    """
+    min_gap = check_positive_int(min_gap, "min_gap")
+    merged: List[int] = []
+    for alarm in sorted(int(a) for a in alarm_times):
+        if not merged or alarm - merged[-1] >= min_gap:
+            merged.append(alarm)
+    return merged
+
+
+def segment_stream(
+    n_bags: int,
+    alarm_times: Sequence[int],
+    *,
+    bags: Optional[Sequence[np.ndarray]] = None,
+    min_segment_length: int = 1,
+) -> List[Segment]:
+    """Split ``[0, n_bags)`` into segments at the (merged) alarm times.
+
+    Parameters
+    ----------
+    n_bags:
+        Length of the stream being segmented.
+    alarm_times:
+        Change-point locations (each becomes the first index of a new
+        segment).
+    bags:
+        The original bags; when given, per-segment means and observation
+        counts are computed.
+    min_segment_length:
+        Alarms closer together than this are merged, so no returned segment
+        is shorter than this many bags (except possibly the last one).
+    """
+    n_bags = check_positive_int(n_bags, "n_bags")
+    if bags is not None and len(bags) != n_bags:
+        raise ValidationError("bags must have length n_bags")
+    boundaries = merge_close_alarms(
+        [a for a in alarm_times if 0 < a < n_bags], min_segment_length
+    )
+    cuts = [0] + boundaries + [n_bags]
+    segments: List[Segment] = []
+    for start, end in zip(cuts[:-1], cuts[1:]):
+        if end <= start:
+            continue
+        if bags is not None:
+            pooled = np.vstack([np.asarray(bags[i], dtype=float).reshape(len(bags[i]), -1)
+                                for i in range(start, end)])
+            segments.append(
+                Segment(start=start, end=end, mean=pooled.mean(axis=0), n_observations=len(pooled))
+            )
+        else:
+            segments.append(Segment(start=start, end=end))
+    return segments
+
+
+def segment_from_result(
+    result: DetectionResult,
+    n_bags: int,
+    *,
+    bags: Optional[Sequence[np.ndarray]] = None,
+    min_segment_length: Optional[int] = None,
+) -> List[Segment]:
+    """Segment a stream using the alarms of a :class:`DetectionResult`.
+
+    ``min_segment_length`` defaults to the detector's test-window length
+    (``tau_test``) when that is recorded in the result metadata, since
+    alarms within one test window of each other almost always refer to the
+    same underlying change.
+    """
+    if min_segment_length is None:
+        min_segment_length = int(result.metadata.get("tau_test", 1))
+    return segment_stream(
+        n_bags,
+        result.alarm_times.tolist(),
+        bags=bags,
+        min_segment_length=max(min_segment_length, 1),
+    )

@@ -1,0 +1,100 @@
+"""Adaptive thresholding of change-point scores (paper Section 4).
+
+Instead of comparing the score to a fixed threshold η, the paper performs
+a per-step statistical test: the Bayesian bootstrap gives a
+``100(1 − α)%`` confidence interval ``[θ_lo(t), θ_up(t)]`` of the score at
+every time step, and a significant change is declared at ``t`` when
+
+    γ_t = θ_lo(t) − θ_up(t − τ′) > 0,
+
+i.e. when the interval at ``t`` lies entirely above the interval τ′ steps
+earlier (the two intervals then involve disjoint test windows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..bootstrap import ConfidenceInterval
+
+
+def gamma_statistic(
+    current: ConfidenceInterval, earlier: Optional[ConfidenceInterval]
+) -> float:
+    """Compute ``γ_t = θ_lo(t) − θ_up(t − τ′)`` (paper Eq. 20).
+
+    Returns ``nan`` when the earlier interval is not available (start of
+    the sequence), in which case no alert can be raised.
+    """
+    if earlier is None:
+        return float("nan")
+    return current.lower - earlier.upper
+
+
+def is_significant(gamma: float) -> bool:
+    """Alert decision ``γ_t > 0`` (paper Eq. 18)."""
+    return bool(np.isfinite(gamma) and gamma > 0.0)
+
+
+class AdaptiveThreshold:
+    """Stateful helper applying the interval-overlap test along a sequence.
+
+    Intervals are registered in time order via :meth:`update`, which
+    returns the γ statistic and the alert decision for the newly added
+    time step by comparing it to the interval ``lag`` steps earlier
+    (``lag = τ′`` in the paper, so the two test windows share no bag).
+    """
+
+    def __init__(self, lag: int):
+        self.lag = check_positive_int(lag, "lag")
+        self._intervals: Dict[int, ConfidenceInterval] = {}
+
+    def update(self, time: int, interval: ConfidenceInterval) -> Tuple[float, bool]:
+        """Register the interval at ``time`` and test it against ``time − lag``."""
+        self._intervals[int(time)] = interval
+        earlier = self._intervals.get(int(time) - self.lag)
+        gamma = gamma_statistic(interval, earlier)
+        return gamma, is_significant(gamma)
+
+    def interval_at(self, time: int) -> Optional[ConfidenceInterval]:
+        """The interval registered at ``time``, if any."""
+        return self._intervals.get(int(time))
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+
+def apply_threshold(
+    times: Sequence[int],
+    intervals: Sequence[ConfidenceInterval],
+    lag: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vector form of the adaptive threshold over an entire run.
+
+    Parameters
+    ----------
+    times:
+        Inspection-point indices, in increasing order.
+    intervals:
+        Confidence interval for each inspection point.
+    lag:
+        Interval separation τ′.
+
+    Returns
+    -------
+    tuple
+        ``(gammas, alerts)`` arrays aligned with ``times``.
+    """
+    if len(times) != len(intervals):
+        raise ValueError("times and intervals must have the same length")
+    threshold = AdaptiveThreshold(lag)
+    gammas: List[float] = []
+    alerts: List[bool] = []
+    for t, interval in zip(times, intervals):
+        gamma, alert = threshold.update(int(t), interval)
+        gammas.append(gamma)
+        alerts.append(alert)
+    return np.array(gammas, dtype=float), np.array(alerts, dtype=bool)

@@ -1,0 +1,46 @@
+"""Synthetic data generators mirroring the paper's evaluation section."""
+
+from .base import BagDataset, GraphDataset
+from .bipartite_streams import BLOCK_LENGTH, INITIAL_RATES, make_bipartite_stream
+from .darknet import (
+    DEFAULT_CAMPAIGNS,
+    PACKET_FEATURES,
+    AttackCampaign,
+    DarknetTrafficSimulator,
+)
+from .enron import DEFAULT_EVENTS, EnronLikeStream, OrganizationalEvent
+from .mixtures import make_mixture_stream
+from .pamap import (
+    ACTIVITIES,
+    ACTIVITY_PROFILES,
+    DEFAULT_PROTOCOL,
+    ActivityProfile,
+    PamapSimulator,
+)
+from .synthetic_bags import (
+    make_all_confidence_interval_datasets,
+    make_confidence_interval_dataset,
+)
+
+__all__ = [
+    "BagDataset",
+    "GraphDataset",
+    "make_mixture_stream",
+    "make_confidence_interval_dataset",
+    "make_all_confidence_interval_datasets",
+    "PamapSimulator",
+    "ActivityProfile",
+    "ACTIVITIES",
+    "ACTIVITY_PROFILES",
+    "DEFAULT_PROTOCOL",
+    "make_bipartite_stream",
+    "BLOCK_LENGTH",
+    "INITIAL_RATES",
+    "EnronLikeStream",
+    "OrganizationalEvent",
+    "DEFAULT_EVENTS",
+    "DarknetTrafficSimulator",
+    "AttackCampaign",
+    "DEFAULT_CAMPAIGNS",
+    "PACKET_FEATURES",
+]

@@ -1,0 +1,70 @@
+"""Common containers for the synthetic datasets shipped with the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.bag import BagSequence
+
+
+@dataclass
+class BagDataset:
+    """A generated bag stream together with its ground truth.
+
+    Attributes
+    ----------
+    bags:
+        The list of per-time-step bags (``(n_t, d)`` arrays).
+    change_points:
+        Sorted list of time indices at which the generating distribution
+        changed (the index of the *first* bag drawn from the new regime).
+    name:
+        Identifier of the dataset/configuration.
+    metadata:
+        Free-form extra information (parameters, labels per step, …).
+    """
+
+    bags: List[np.ndarray]
+    change_points: List[int]
+    name: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Number of observations in each bag."""
+        return np.array([len(bag) for bag in self.bags], dtype=int)
+
+    def to_sequence(self) -> BagSequence:
+        """The bags wrapped in a :class:`~repro.core.BagSequence`."""
+        return BagSequence(self.bags)
+
+
+@dataclass
+class GraphDataset:
+    """A generated sequence of bipartite graphs together with its ground truth.
+
+    Attributes
+    ----------
+    graphs:
+        List of :class:`~repro.graphs.BipartiteGraph`, one per time step.
+    change_points:
+        Time indices at which the generating parameters changed.
+    name:
+        Identifier of the dataset/configuration.
+    metadata:
+        Free-form extra information (event labels, parameters per step, …).
+    """
+
+    graphs: list
+    change_points: List[int]
+    name: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.graphs)

@@ -1,0 +1,169 @@
+"""The four synthetic bipartite-graph streams of paper Section 5.3 (Fig. 10).
+
+All four datasets share the same backbone: at every time step a bipartite
+graph with two source-node clusters and two destination-node clusters is
+sampled; node counts follow Poisson(200); each community (source cluster k,
+destination cluster l) has edge weights that are Poisson with rate λ_{k,l}.
+The initial state is λ = [[10, 3], [1, 5]], κ = δ = 0.5.  Every 20 steps
+the parameters are perturbed, and the magnitude of the perturbation grows
+over time, so later change points are easier to detect than earlier ones:
+
+* **Dataset 1** — the rates are all shifted by ``a + 1`` inside alternating
+  20-step blocks (total traffic changes, partitions fixed).
+* **Dataset 2** — the partition fractions κ = δ jump to ``0.5 ± 0.1a``
+  inside alternating blocks (partitioning changes, rates fixed).
+* **Dataset 3** — like dataset 2 but the total edge weight is fixed to
+  100 000 and distributed according to the rate ratios, so only the
+  *structure* changes while the traffic volume stays constant.
+* **Dataset 4** — κ, δ stay fixed and the λ values are permuted in a
+  different way every block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..exceptions import ConfigurationError
+from ..graphs import BipartiteGraph, CommunityModel, sample_community_graph
+from .base import GraphDataset
+
+#: Initial community parameters of Section 5.3.
+INITIAL_RATES = np.array([[10.0, 3.0], [1.0, 5.0]])
+INITIAL_KAPPA = 0.5
+INITIAL_DELTA = 0.5
+BLOCK_LENGTH = 20
+
+#: Permutations of (λ11, λ12, λ21, λ22) applied by dataset 4, one per block.
+_DATASET4_PERMUTATIONS = [
+    (1, 0, 3, 2),   # swap within rows
+    (2, 3, 0, 1),   # swap rows
+    (3, 2, 1, 0),   # full reversal
+    (0, 2, 1, 3),   # swap off-diagonal
+    (3, 1, 2, 0),   # swap diagonal
+    (1, 3, 0, 2),   # rotate
+]
+
+
+def _block_index(t: int) -> int:
+    """Block number of time step ``t`` (0-based; blocks are 20 steps long)."""
+    return t // BLOCK_LENGTH
+
+
+def _base_model(mean_nodes: float) -> CommunityModel:
+    return CommunityModel(
+        rate_matrix=INITIAL_RATES.copy(),
+        source_fractions=np.array([INITIAL_KAPPA, 1.0 - INITIAL_KAPPA]),
+        destination_fractions=np.array([INITIAL_DELTA, 1.0 - INITIAL_DELTA]),
+        mean_sources=mean_nodes,
+        mean_destinations=mean_nodes,
+    )
+
+
+def _model_for_step(
+    dataset_id: int,
+    t: int,
+    mean_nodes: float,
+    rng: np.random.Generator,
+    block_signs: Dict[int, int],
+) -> tuple[CommunityModel, Optional[float]]:
+    """Community model (and optional fixed total weight) for time step ``t``."""
+    model = _base_model(mean_nodes)
+    block = _block_index(t)
+    # Block 0 is the initial state; perturbations start from block 1 and the
+    # perturbation magnitude index is a = block (grows over time), with only
+    # every other block perturbed so the parameters alternate back and forth
+    # (each block boundary is a change point).
+    if block == 0:
+        fixed_total = 100_000.0 if dataset_id == 3 else None
+        return model, fixed_total
+    magnitude = block  # a = 1, 2, ... grows with time
+    perturbed = block % 2 == 1  # odd blocks carry the perturbation
+
+    if dataset_id == 1:
+        if perturbed:
+            model = model.with_rates(np.full((2, 2), magnitude + 1.0))
+        else:
+            model = model.with_rates(np.ones((2, 2)))
+        return model, None
+
+    if dataset_id in (2, 3):
+        if perturbed:
+            if block not in block_signs:
+                block_signs[block] = int(rng.integers(0, 2))
+            sign = 1.0 if block_signs[block] == 1 else -1.0
+            fraction = float(np.clip(0.5 + 0.1 * magnitude * sign, 0.05, 0.95))
+        else:
+            fraction = 0.5
+        model = model.with_partitions(fraction, fraction)
+        fixed_total = 100_000.0 if dataset_id == 3 else None
+        return model, fixed_total
+
+    if dataset_id == 4:
+        flat = INITIAL_RATES.ravel()
+        if perturbed:
+            permutation = _DATASET4_PERMUTATIONS[(block // 2) % len(_DATASET4_PERMUTATIONS)]
+            flat = flat[list(permutation)]
+        model = model.with_rates(flat.reshape(2, 2))
+        return model, None
+
+    raise ConfigurationError(f"dataset_id must be 1, 2, 3 or 4, got {dataset_id}")
+
+
+def make_bipartite_stream(
+    dataset_id: int,
+    *,
+    n_steps: Optional[int] = None,
+    mean_nodes: float = 200.0,
+    random_state: Union[None, int, np.random.Generator] = None,
+) -> GraphDataset:
+    """Generate one of the four Section-5.3 bipartite streams.
+
+    Parameters
+    ----------
+    dataset_id:
+        1 through 4, matching the paper's numbering.
+    n_steps:
+        Number of graphs; defaults to 200 (240 for dataset 4, matching the
+        horizontal axes of Fig. 10).
+    mean_nodes:
+        Poisson mean of the source/destination node counts (paper: 200).
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    GraphDataset
+        ``change_points`` are the block boundaries (every 20 steps, starting
+        at step 20); ``metadata["block_length"]`` records the block size.
+    """
+    if dataset_id not in (1, 2, 3, 4):
+        raise ConfigurationError(f"dataset_id must be 1, 2, 3 or 4, got {dataset_id}")
+    if n_steps is None:
+        n_steps = 240 if dataset_id == 4 else 200
+    n_steps = check_positive_int(n_steps, "n_steps")
+    rng = as_rng(random_state)
+
+    graphs: List[BipartiteGraph] = []
+    block_signs: Dict[int, int] = {}
+    for t in range(n_steps):
+        model, fixed_total = _model_for_step(dataset_id, t, mean_nodes, rng, block_signs)
+        graphs.append(
+            sample_community_graph(
+                model, rng=rng, index=t, fixed_total_weight=fixed_total
+            )
+        )
+
+    change_points = [t for t in range(BLOCK_LENGTH, n_steps, BLOCK_LENGTH)]
+    return GraphDataset(
+        graphs=graphs,
+        change_points=change_points,
+        name=f"section5.3_dataset{dataset_id}",
+        metadata={
+            "dataset_id": dataset_id,
+            "block_length": BLOCK_LENGTH,
+            "mean_nodes": mean_nodes,
+        },
+    )

@@ -1,0 +1,101 @@
+"""The motivating Gaussian-mixture stream of the paper's Fig. 1.
+
+At every time step roughly 300 one-dimensional observations are drawn;
+from t = 0 to 49 they come from a single Gaussian, from t = 50 to 99 from
+a mixture of two Gaussians, and from t = 100 to 149 from a mixture of
+three Gaussians.  The sample mean of each bag barely moves, which is why
+detectors run on the mean sequence (Fig. 1(b)) miss both changes while the
+bag-of-data detector finds them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..exceptions import ValidationError
+from .base import BagDataset
+
+# Mixture components per regime: (means, standard deviations, mixing weights).
+_DEFAULT_REGIMES = (
+    (np.array([0.0]), np.array([1.0]), np.array([1.0])),
+    (np.array([-4.0, 4.0]), np.array([1.0, 1.0]), np.array([0.5, 0.5])),
+    (np.array([-6.0, 0.0, 6.0]), np.array([1.0, 1.0, 1.0]), np.array([1 / 3, 1 / 3, 1 / 3])),
+)
+
+
+def _sample_mixture(
+    means: np.ndarray,
+    stds: np.ndarray,
+    weights: np.ndarray,
+    size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    components = rng.choice(len(means), size=size, p=weights)
+    return rng.normal(means[components], stds[components]).reshape(-1, 1)
+
+
+def make_mixture_stream(
+    *,
+    steps_per_regime: int = 50,
+    bag_size: int = 300,
+    bag_size_jitter: int = 30,
+    regimes: Sequence = _DEFAULT_REGIMES,
+    random_state: Union[None, int, np.random.Generator] = None,
+) -> BagDataset:
+    """Generate the Fig. 1 stream (or a customised variant of it).
+
+    Parameters
+    ----------
+    steps_per_regime:
+        Number of time steps in each regime (the paper uses 50).
+    bag_size:
+        Nominal number of observations per bag (the paper uses ~300).
+    bag_size_jitter:
+        Uniform jitter applied to the bag size so that sizes vary over time.
+    regimes:
+        Sequence of ``(means, stds, weights)`` triples, one per regime;
+        the default reproduces the 1 → 2 → 3 component mixture of Fig. 1.
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    BagDataset
+        ``change_points`` holds the first index of every regime after the
+        first (``[50, 100]`` with the defaults).
+    """
+    steps_per_regime = check_positive_int(steps_per_regime, "steps_per_regime")
+    bag_size = check_positive_int(bag_size, "bag_size")
+    if bag_size_jitter < 0 or bag_size_jitter >= bag_size:
+        raise ValidationError("bag_size_jitter must lie in [0, bag_size)")
+    if len(regimes) < 1:
+        raise ValidationError("at least one regime is required")
+    rng = as_rng(random_state)
+
+    bags = []
+    for means, stds, weights in regimes:
+        means = np.asarray(means, dtype=float)
+        stds = np.asarray(stds, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        weights = weights / weights.sum()
+        for _ in range(steps_per_regime):
+            if bag_size_jitter > 0:
+                size = int(bag_size + rng.integers(-bag_size_jitter, bag_size_jitter + 1))
+            else:
+                size = bag_size
+            bags.append(_sample_mixture(means, stds, weights, max(size, 1), rng))
+
+    change_points = [steps_per_regime * k for k in range(1, len(regimes))]
+    return BagDataset(
+        bags=bags,
+        change_points=change_points,
+        name="fig1_mixture_stream",
+        metadata={
+            "steps_per_regime": steps_per_regime,
+            "bag_size": bag_size,
+            "n_regimes": len(regimes),
+        },
+    )

@@ -1,0 +1,137 @@
+"""The five synthetic 2-D bag datasets of paper Section 5.1 (Fig. 6).
+
+Each dataset is a sequence of 20 bags of two-dimensional Gaussian vectors;
+the number of vectors per bag follows a Poisson distribution with mean 50.
+The five configurations probe the behaviour of the Bayesian-bootstrap
+confidence intervals:
+
+1. large variance, no change point;
+2. 80% standard normal + 20% wide noise, no change point;
+3. mean moving slowly on a circle (gradual drift), no significant change;
+4. a mean jump from (3, 0) to (−3, 0) at t = 11 (one clear change point);
+5. the rotation speed of the mean increases at t = 11.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple, Union
+
+import numpy as np
+
+from .._validation import as_rng, check_positive_int
+from ..exceptions import ConfigurationError
+from .base import BagDataset
+
+BagSampler = Callable[[int, int, np.random.Generator], np.ndarray]
+"""Signature of a per-dataset sampler: ``(t, n_t, rng) -> (n_t, 2) array``.
+
+Time indices ``t`` run from 1 to ``n_bags`` to match the paper's notation.
+"""
+
+
+def _dataset1(t: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """All vectors from N(0, 15·I): large variance, no change."""
+    return rng.multivariate_normal(np.zeros(2), 15.0 * np.eye(2), size=n)
+
+
+def _dataset2(t: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """~80% standard normal, ~20% wide noise around random centres."""
+    n_clean = int(np.ceil(0.8 * n))
+    clean = rng.multivariate_normal(np.zeros(2), np.eye(2), size=n_clean)
+    n_noise = n - n_clean
+    if n_noise <= 0:
+        return clean
+    noise_means = rng.multivariate_normal(np.zeros(2), 20.0 * np.eye(2), size=n_noise)
+    noise = noise_means + rng.multivariate_normal(np.zeros(2), 5.0 * np.eye(2), size=n_noise)
+    return np.vstack([clean, noise])
+
+
+def _circular_mean(t: int, radius: float) -> np.ndarray:
+    angle = np.pi * (t - 0.5) / 5.0
+    return radius * np.array([np.cos(angle), np.sin(angle)])
+
+
+def _dataset3(t: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Mean moving on a circle of radius √3 (constant gradual drift)."""
+    return rng.multivariate_normal(_circular_mean(t, np.sqrt(3.0)), np.eye(2), size=n)
+
+
+def _dataset4(t: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Mean jumps from (3, 0) to (−3, 0) at t = 11."""
+    mean = np.array([3.0, 0.0]) if t <= 10 else np.array([-3.0, 0.0])
+    return rng.multivariate_normal(mean, np.eye(2), size=n)
+
+
+def _dataset5(t: int, n: int, rng: np.random.Generator) -> np.ndarray:
+    """The radius of the circular drift changes from √3 to 3 at t = 11."""
+    radius = np.sqrt(3.0) if t <= 10 else 3.0
+    return rng.multivariate_normal(_circular_mean(t, radius), np.eye(2), size=n)
+
+
+_SAMPLERS: Dict[int, Tuple[BagSampler, List[int], str]] = {
+    1: (_dataset1, [], "large variance, no change"),
+    2: (_dataset2, [], "80% clean + 20% noise, no change"),
+    3: (_dataset3, [], "slow circular drift, no significant change"),
+    4: (_dataset4, [10], "mean jump (3,0) -> (-3,0) at t=11"),
+    5: (_dataset5, [10], "circular drift speeds up at t=11"),
+}
+
+
+def make_confidence_interval_dataset(
+    dataset_id: int,
+    *,
+    n_bags: int = 20,
+    mean_bag_size: float = 50.0,
+    random_state: Union[None, int, np.random.Generator] = None,
+) -> BagDataset:
+    """Generate one of the five Section-5.1 datasets.
+
+    Parameters
+    ----------
+    dataset_id:
+        1 through 5, matching the paper's numbering.
+    n_bags:
+        Number of bags (the paper uses 20).
+    mean_bag_size:
+        Poisson mean of the per-bag sample count (the paper uses λ = 50).
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    BagDataset
+        ``change_points`` uses 0-based indexing: the paper's "change at
+        t = 11" (1-based) is reported as index 10.
+    """
+    if dataset_id not in _SAMPLERS:
+        raise ConfigurationError(f"dataset_id must be in {sorted(_SAMPLERS)}, got {dataset_id}")
+    n_bags = check_positive_int(n_bags, "n_bags")
+    rng = as_rng(random_state)
+    sampler, change_points, description = _SAMPLERS[dataset_id]
+
+    bags: List[np.ndarray] = []
+    for t in range(1, n_bags + 1):
+        size = max(int(rng.poisson(mean_bag_size)), 2)
+        bags.append(sampler(t, size, rng))
+    return BagDataset(
+        bags=bags,
+        change_points=[cp for cp in change_points if cp < n_bags],
+        name=f"section5.1_dataset{dataset_id}",
+        metadata={"dataset_id": dataset_id, "description": description},
+    )
+
+
+def make_all_confidence_interval_datasets(
+    *,
+    n_bags: int = 20,
+    mean_bag_size: float = 50.0,
+    random_state: Union[None, int, np.random.Generator] = None,
+) -> Dict[int, BagDataset]:
+    """All five Section-5.1 datasets keyed by their id."""
+    rng = as_rng(random_state)
+    return {
+        dataset_id: make_confidence_interval_dataset(
+            dataset_id, n_bags=n_bags, mean_bag_size=mean_bag_size, random_state=rng
+        )
+        for dataset_id in sorted(_SAMPLERS)
+    }

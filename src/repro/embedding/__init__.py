@@ -1,0 +1,5 @@
+"""Embedding utilities (classical MDS used for the Fig. 6 visualisations)."""
+
+from .mds import MDSResult, classical_mds
+
+__all__ = ["MDSResult", "classical_mds"]

@@ -1,0 +1,92 @@
+"""Classical multidimensional scaling (MDS) from a distance matrix.
+
+The paper's Fig. 6 visualises each synthetic dataset by embedding the bags
+into two dimensions with multidimensional scaling applied to the pairwise
+EMD matrix.  Classical (Torgerson) MDS is implemented from scratch using
+the double-centred squared-distance matrix and its top eigenvectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class MDSResult:
+    """Result of a classical MDS embedding.
+
+    Attributes
+    ----------
+    embedding:
+        Array of shape ``(n, n_components)`` with the embedded coordinates.
+    eigenvalues:
+        All eigenvalues of the double-centred Gram matrix in decreasing
+        order (negative values indicate non-Euclidean structure in the
+        distances).
+    stress:
+        Normalised residual ``sqrt(Σ (d_ij − δ_ij)² / Σ δ_ij²)`` between the
+        embedded distances ``d`` and the input distances ``δ``.
+    """
+
+    embedding: np.ndarray
+    eigenvalues: np.ndarray
+    stress: float
+
+
+def classical_mds(distance_matrix: np.ndarray, n_components: int = 2) -> MDSResult:
+    """Embed points described by a distance matrix into Euclidean space.
+
+    Parameters
+    ----------
+    distance_matrix:
+        Symmetric non-negative ``(n, n)`` matrix with zero diagonal.
+    n_components:
+        Target dimensionality of the embedding.
+
+    Returns
+    -------
+    MDSResult
+    """
+    n_components = check_positive_int(n_components, "n_components")
+    dist = np.asarray(distance_matrix, dtype=float)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValidationError("distance_matrix must be a square matrix")
+    n = dist.shape[0]
+    if n < 2:
+        raise ValidationError("need at least two points to embed")
+    if not np.allclose(dist, dist.T, atol=1e-8):
+        raise ValidationError("distance_matrix must be symmetric")
+    if np.any(dist < 0):
+        raise ValidationError("distances must be non-negative")
+    if n_components >= n:
+        n_components = n - 1
+
+    # Double centring of the squared distances: B = -1/2 J D^2 J.
+    squared = dist**2
+    centering = np.eye(n) - np.ones((n, n)) / n
+    gram = -0.5 * centering @ squared @ centering
+
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+
+    top_values = np.clip(eigenvalues[:n_components], 0.0, None)
+    embedding = eigenvectors[:, :n_components] * np.sqrt(top_values)[None, :]
+
+    embedded_dist = np.sqrt(
+        np.maximum(
+            np.sum(embedding**2, axis=1)[:, None]
+            - 2.0 * embedding @ embedding.T
+            + np.sum(embedding**2, axis=1)[None, :],
+            0.0,
+        )
+    )
+    denom = float(np.sum(dist**2))
+    stress = float(np.sqrt(np.sum((embedded_dist - dist) ** 2) / denom)) if denom > 0 else 0.0
+    return MDSResult(embedding=embedding, eigenvalues=eigenvalues, stress=stress)

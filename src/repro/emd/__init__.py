@@ -1,0 +1,46 @@
+"""Earth Mover's Distance between signatures (paper Section 3.2)."""
+
+from .distance import EMDResult, emd, emd_with_flow
+from .ground_distance import (
+    GroundDistance,
+    chebyshev_cross_distance,
+    cross_distance_matrix,
+    euclidean_cross_distance,
+    manhattan_cross_distance,
+    resolve_ground_distance,
+    squared_euclidean_cross_distance,
+)
+from .linprog_backend import solve_emd_linprog
+from .matrices import EMDCache, cross_emd_matrix, emd_matrix
+from .one_dimensional import emd_1d_histograms, wasserstein_1d
+from .sinkhorn import SinkhornResult, sinkhorn_emd, sinkhorn_transport
+from .transportation import (
+    TransportPlan,
+    solve_transportation,
+    solve_unbalanced_transportation,
+)
+
+__all__ = [
+    "EMDResult",
+    "emd",
+    "emd_with_flow",
+    "GroundDistance",
+    "cross_distance_matrix",
+    "euclidean_cross_distance",
+    "squared_euclidean_cross_distance",
+    "manhattan_cross_distance",
+    "chebyshev_cross_distance",
+    "resolve_ground_distance",
+    "solve_emd_linprog",
+    "EMDCache",
+    "emd_matrix",
+    "cross_emd_matrix",
+    "wasserstein_1d",
+    "emd_1d_histograms",
+    "SinkhornResult",
+    "sinkhorn_emd",
+    "sinkhorn_transport",
+    "TransportPlan",
+    "solve_transportation",
+    "solve_unbalanced_transportation",
+]

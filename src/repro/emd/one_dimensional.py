@@ -1,0 +1,80 @@
+"""Exact closed-form Earth Mover's Distance for one-dimensional signatures.
+
+For 1-D data with equal total masses the EMD coincides with the first
+Wasserstein (Mallows) distance, which has a closed form as the L1 distance
+between the quantile functions (equivalently between the cumulative
+distribution functions).  This is dramatically cheaper than solving the
+transportation LP and is used as a fast path and as an oracle in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_vector, check_weights
+
+
+def wasserstein_1d(
+    positions_a: np.ndarray,
+    weights_a: np.ndarray,
+    positions_b: np.ndarray,
+    weights_b: np.ndarray,
+) -> float:
+    """First Wasserstein distance between two weighted 1-D point sets.
+
+    Both weight vectors are normalised to total mass one, so the result
+    equals the paper's EMD (Eq. 12) whenever the two signatures carry equal
+    total mass, and equals the normalised-mass EMD otherwise.
+
+    Parameters
+    ----------
+    positions_a, positions_b:
+        1-D arrays of support points.
+    weights_a, weights_b:
+        Non-negative masses associated with each support point.
+
+    Returns
+    -------
+    float
+        The distance ``∫ |F_a^{-1}(q) - F_b^{-1}(q)| dq``.
+    """
+    xa = check_vector(positions_a, "positions_a")
+    xb = check_vector(positions_b, "positions_b")
+    wa = check_weights(weights_a, "weights_a", normalize=True)
+    wb = check_weights(weights_b, "weights_b", normalize=True)
+    if xa.shape != wa.shape or xb.shape != wb.shape:
+        raise ValueError("positions and weights must have matching shapes")
+
+    order_a = np.argsort(xa, kind="stable")
+    order_b = np.argsort(xb, kind="stable")
+    xa, wa = xa[order_a], wa[order_a]
+    xb, wb = xb[order_b], wb[order_b]
+
+    # Merge the two supports and integrate |F_a - F_b| over each segment.
+    all_x = np.concatenate([xa, xb])
+    all_x.sort(kind="stable")
+    deltas = np.diff(all_x)
+
+    cdf_a = np.searchsorted(xa, all_x[:-1], side="right")
+    cdf_b = np.searchsorted(xb, all_x[:-1], side="right")
+    cum_a = np.concatenate([[0.0], np.cumsum(wa)])
+    cum_b = np.concatenate([[0.0], np.cumsum(wb)])
+    fa = cum_a[cdf_a]
+    fb = cum_b[cdf_b]
+    return float(np.sum(np.abs(fa - fb) * deltas))
+
+
+def emd_1d_histograms(counts_a: np.ndarray, counts_b: np.ndarray, bin_width: float = 1.0) -> float:
+    """EMD between two histograms sharing the same equally-spaced bins.
+
+    Both histograms are normalised; the distance is ``bin_width`` times the
+    L1 distance between their cumulative sums, a classical identity used
+    for fast histogram comparison.
+    """
+    ca = check_weights(counts_a, "counts_a", normalize=True)
+    cb = check_weights(counts_b, "counts_b", normalize=True)
+    if ca.shape != cb.shape:
+        raise ValueError("histograms must have the same number of bins")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    return float(bin_width * np.sum(np.abs(np.cumsum(ca) - np.cumsum(cb))[:-1])) if ca.size > 1 else 0.0

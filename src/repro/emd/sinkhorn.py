@@ -1,0 +1,157 @@
+"""Entropic-regularised optimal transport (Sinkhorn) as an approximate EMD.
+
+For large signatures the exact transportation LP becomes the bottleneck of
+the detector.  Entropic regularisation replaces the LP by a strictly
+convex problem solvable with simple matrix scaling (the Sinkhorn-Knopp
+iterations), trading a small, controllable bias for a large speed-up.
+This backend is an *extension* of the paper (which always uses the exact
+EMD); the ablation tests verify that the approximation error vanishes as
+the regularisation goes to zero and that the resulting change-point scores
+stay close to the exact ones.
+
+The implementation works on normalised weights (balanced transport).  For
+signatures of unequal total mass the weights are normalised first, which
+coincides with the exact partial-matching EMD whenever the two masses are
+equal and is an accepted approximation otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_weights
+from ..exceptions import SolverError, ValidationError
+from ..signatures import Signature
+from .ground_distance import GroundDistance, cross_distance_matrix
+
+
+@dataclass(frozen=True)
+class SinkhornResult:
+    """Result of a Sinkhorn computation.
+
+    Attributes
+    ----------
+    distance:
+        Transport cost of the (entropy-regularised) optimal plan, computed
+        as ``<P, C>`` — the plan's cost under the *original* ground
+        distance, i.e. the "sharp" Sinkhorn distance.
+    plan:
+        The transport plan ``P`` of shape ``(K, L)``; rows sum to the
+        normalised weights of the first signature, columns to the second's.
+    iterations:
+        Number of Sinkhorn iterations performed.
+    converged:
+        Whether the marginal error dropped below the tolerance.
+    """
+
+    distance: float
+    plan: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def sinkhorn_transport(
+    cost: np.ndarray,
+    weights_a: np.ndarray,
+    weights_b: np.ndarray,
+    *,
+    epsilon: float = 0.05,
+    max_iter: int = 2000,
+    tol: float = 1e-9,
+) -> SinkhornResult:
+    """Solve entropic-regularised optimal transport by Sinkhorn iterations.
+
+    Parameters
+    ----------
+    cost:
+        Ground-cost matrix of shape ``(K, L)``.
+    weights_a, weights_b:
+        Non-negative weights; normalised to probability vectors internally.
+    epsilon:
+        Entropic regularisation strength (smaller = closer to exact EMD but
+        slower convergence).  Scaled by the median cost internally so the
+        parameter is unit-free.
+    max_iter:
+        Maximum number of scaling iterations.
+    tol:
+        L1 tolerance on the marginal violation.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValidationError("cost must be a 2-D matrix")
+    a = check_weights(weights_a, "weights_a", normalize=True)
+    b = check_weights(weights_b, "weights_b", normalize=True)
+    if cost.shape != (a.shape[0], b.shape[0]):
+        raise ValidationError(
+            f"cost has shape {cost.shape}, expected {(a.shape[0], b.shape[0])}"
+        )
+    if epsilon <= 0:
+        raise ValidationError("epsilon must be positive")
+
+    positive_costs = cost[cost > 0]
+    scale = float(np.median(positive_costs)) if positive_costs.size else 1.0
+    regularisation = epsilon * max(scale, 1e-12)
+
+    # Log-domain stabilised Sinkhorn: f, g are the dual potentials.
+    log_a = np.log(a)
+    log_b = np.log(b)
+    f = np.zeros_like(a)
+    g = np.zeros_like(b)
+    kernel = -cost / regularisation
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        # Row update: f_i = -eps * logsumexp_j (kernel_ij + g_j/eps) + eps*log a_i
+        m = kernel + g[None, :] / regularisation
+        f = regularisation * (log_a - _logsumexp(m, axis=1))
+        m = kernel + f[:, None] / regularisation
+        g = regularisation * (log_b - _logsumexp(m, axis=0))
+
+        plan = np.exp(kernel + f[:, None] / regularisation + g[None, :] / regularisation)
+        row_error = np.abs(plan.sum(axis=1) - a).sum()
+        col_error = np.abs(plan.sum(axis=0) - b).sum()
+        if row_error + col_error < tol:
+            converged = True
+            break
+
+    plan = np.exp(kernel + f[:, None] / regularisation + g[None, :] / regularisation)
+    if not np.all(np.isfinite(plan)):
+        raise SolverError("Sinkhorn iterations diverged; increase epsilon")
+    return SinkhornResult(
+        distance=float(np.sum(plan * cost)),
+        plan=plan,
+        iterations=iteration,
+        converged=converged,
+    )
+
+
+def _logsumexp(values: np.ndarray, axis: int) -> np.ndarray:
+    maximum = np.max(values, axis=axis, keepdims=True)
+    out = maximum + np.log(np.sum(np.exp(values - maximum), axis=axis, keepdims=True))
+    return np.squeeze(out, axis=axis)
+
+
+def sinkhorn_emd(
+    sig_a: Signature,
+    sig_b: Signature,
+    *,
+    ground_distance: GroundDistance = "euclidean",
+    epsilon: float = 0.05,
+    max_iter: int = 2000,
+) -> float:
+    """Approximate EMD between two signatures via entropic regularisation.
+
+    Weights are normalised, so for signatures of equal total mass the value
+    converges to the exact EMD (Eq. 12) as ``epsilon -> 0``.
+    """
+    if sig_a.dimension != sig_b.dimension:
+        raise ValidationError("signatures must share the same dimensionality")
+    cost = cross_distance_matrix(sig_a.positions, sig_b.positions, ground_distance)
+    result = sinkhorn_transport(
+        cost, sig_a.weights, sig_b.weights, epsilon=epsilon, max_iter=max_iter
+    )
+    return result.distance

@@ -1,0 +1,19 @@
+"""Evaluation metrics, threshold sweeps and experiment runner."""
+
+from .curves import OperatingPoint, best_f1_point, precision_recall_curve, threshold_sweep
+from .metrics import MatchingResult, false_alarm_rate, match_alarms, score_auc
+from .runner import ExperimentReport, format_report_table, run_experiment
+
+__all__ = [
+    "MatchingResult",
+    "match_alarms",
+    "false_alarm_rate",
+    "score_auc",
+    "OperatingPoint",
+    "threshold_sweep",
+    "precision_recall_curve",
+    "best_f1_point",
+    "ExperimentReport",
+    "run_experiment",
+    "format_report_table",
+]

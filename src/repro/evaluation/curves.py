@@ -1,0 +1,114 @@
+"""Threshold sweeps: ROC and precision-recall curves for score sequences.
+
+The adaptive thresholding of Section 4 removes the need to pick a fixed
+threshold η, but for *comparing* scoring functions (scoreLR vs scoreKL vs
+baselines) it is still useful to sweep a threshold over the raw scores and
+trace out the resulting operating characteristics.  This module provides
+those sweeps for alarm/ground-truth matching with a tolerance window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_vector
+from ..exceptions import ValidationError
+from .metrics import match_alarms
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Detection metrics at one threshold value."""
+
+    threshold: float
+    precision: float
+    recall: float
+    false_alarms: int
+    alarms: int
+
+
+def threshold_sweep(
+    scores: np.ndarray,
+    times: np.ndarray,
+    change_points: Sequence[int],
+    *,
+    tolerance: int = 5,
+    n_thresholds: int = 50,
+) -> List[OperatingPoint]:
+    """Evaluate alarm quality for a grid of thresholds over the score range.
+
+    At each threshold, every time step whose score exceeds it is treated as
+    an alarm and matched against the true change points with the usual
+    tolerance window.
+    """
+    scores = check_vector(scores, "scores")
+    times = np.asarray(times, dtype=int).ravel()
+    if scores.shape[0] != times.shape[0]:
+        raise ValidationError("scores and times must have the same length")
+    if n_thresholds < 2:
+        raise ValidationError("n_thresholds must be at least 2")
+
+    lo, hi = float(scores.min()), float(scores.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    thresholds = np.linspace(lo, hi, n_thresholds)
+    points: List[OperatingPoint] = []
+    for threshold in thresholds:
+        alarm_times = times[scores > threshold].tolist()
+        result = match_alarms(alarm_times, change_points, tolerance=tolerance)
+        points.append(
+            OperatingPoint(
+                threshold=float(threshold),
+                precision=result.precision,
+                recall=result.recall,
+                false_alarms=result.false_positives,
+                alarms=len(alarm_times),
+            )
+        )
+    return points
+
+
+def precision_recall_curve(
+    scores: np.ndarray,
+    times: np.ndarray,
+    change_points: Sequence[int],
+    *,
+    tolerance: int = 5,
+    n_thresholds: int = 50,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall as a function of the score threshold.
+
+    Returns ``(thresholds, precision, recall)`` arrays.
+    """
+    points = threshold_sweep(
+        scores, times, change_points, tolerance=tolerance, n_thresholds=n_thresholds
+    )
+    return (
+        np.array([p.threshold for p in points]),
+        np.array([p.precision for p in points]),
+        np.array([p.recall for p in points]),
+    )
+
+
+def best_f1_point(
+    scores: np.ndarray,
+    times: np.ndarray,
+    change_points: Sequence[int],
+    *,
+    tolerance: int = 5,
+    n_thresholds: int = 50,
+) -> OperatingPoint:
+    """The operating point with the highest F1 over the threshold sweep."""
+    points = threshold_sweep(
+        scores, times, change_points, tolerance=tolerance, n_thresholds=n_thresholds
+    )
+
+    def f1(point: OperatingPoint) -> float:
+        if point.precision + point.recall == 0:
+            return 0.0
+        return 2 * point.precision * point.recall / (point.precision + point.recall)
+
+    return max(points, key=f1)

@@ -1,0 +1,173 @@
+"""Evaluation metrics for change-point detection runs.
+
+The paper evaluates its method qualitatively (do the alerts coincide with
+the true change points / scripted events, and are false alarms avoided in
+noisy regimes?).  To make those judgements quantitative and repeatable,
+this module provides the standard alarm/ground-truth matching metrics used
+in the change-point detection literature: precision, recall, F1 within a
+tolerance window, mean detection delay, false-alarm rate, and the AUC of a
+score curve against the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_vector
+from ..exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    """Outcome of matching alarms to true change points.
+
+    Attributes
+    ----------
+    true_positives:
+        Number of true change points matched by at least one alarm inside
+        the tolerance window.
+    false_positives:
+        Number of alarms that match no true change point.
+    false_negatives:
+        Number of true change points with no matching alarm.
+    delays:
+        Detection delay (alarm time − change time) of each matched change
+        point, in time steps.
+    matches:
+        List of ``(change_point, alarm_time)`` pairs that were matched.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    delays: Tuple[float, ...]
+    matches: Tuple[Tuple[int, int], ...]
+
+    @property
+    def precision(self) -> float:
+        """Fraction of alarms that correspond to a true change."""
+        total = self.true_positives + self.false_positives
+        return self.true_positives / total if total > 0 else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true changes that were detected."""
+        total = self.true_positives + self.false_negatives
+        return self.true_positives / total if total > 0 else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        """Average detection delay over matched change points (nan if none)."""
+        return float(np.mean(self.delays)) if self.delays else float("nan")
+
+
+def match_alarms(
+    alarm_times: Sequence[int],
+    change_points: Sequence[int],
+    *,
+    tolerance: int = 5,
+    allow_early: int = 0,
+) -> MatchingResult:
+    """Greedily match alarms to true change points within a tolerance window.
+
+    A change point at ``c`` is considered detected by an alarm at ``a`` when
+    ``c − allow_early ≤ a ≤ c + tolerance``.  Each alarm can confirm at most
+    one change point and vice versa; matching proceeds in time order.
+    """
+    if tolerance < 0 or allow_early < 0:
+        raise ValidationError("tolerance and allow_early must be non-negative")
+    alarms = sorted(int(a) for a in alarm_times)
+    changes = sorted(int(c) for c in change_points)
+
+    used_alarms: set[int] = set()
+    matches: List[Tuple[int, int]] = []
+    delays: List[float] = []
+    for change in changes:
+        candidates = [
+            a
+            for a in alarms
+            if a not in used_alarms and change - allow_early <= a <= change + tolerance
+        ]
+        if candidates:
+            alarm = min(candidates, key=lambda a: abs(a - change))
+            used_alarms.add(alarm)
+            matches.append((change, alarm))
+            delays.append(float(alarm - change))
+
+    true_positives = len(matches)
+    false_positives = len(alarms) - len(used_alarms)
+    false_negatives = len(changes) - true_positives
+    return MatchingResult(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        delays=tuple(delays),
+        matches=tuple(matches),
+    )
+
+
+def false_alarm_rate(
+    alarm_times: Sequence[int],
+    change_points: Sequence[int],
+    n_steps: int,
+    *,
+    tolerance: int = 5,
+) -> float:
+    """Fraction of time steps carrying an alarm not explained by any change."""
+    if n_steps <= 0:
+        raise ValidationError("n_steps must be positive")
+    result = match_alarms(alarm_times, change_points, tolerance=tolerance)
+    return result.false_positives / float(n_steps)
+
+
+def score_auc(
+    scores: np.ndarray,
+    times: np.ndarray,
+    change_points: Sequence[int],
+    *,
+    tolerance: int = 5,
+) -> float:
+    """Area under the ROC curve of a score curve against change-point labels.
+
+    Every inspection time within ``tolerance`` steps *after* a change point
+    is labelled positive; the AUC is the probability that a positive time
+    receives a higher score than a negative one (ties counted as 0.5).
+    Returns ``nan`` when either class is empty.
+    """
+    scores = check_vector(scores, "scores")
+    times = np.asarray(times, dtype=int).ravel()
+    if scores.shape[0] != times.shape[0]:
+        raise ValidationError("scores and times must have the same length")
+    labels = np.zeros(scores.shape[0], dtype=bool)
+    for change in change_points:
+        labels |= (times >= change) & (times <= change + tolerance)
+    positives = scores[labels]
+    negatives = scores[~labels]
+    if positives.size == 0 or negatives.size == 0:
+        return float("nan")
+    # Mann-Whitney U statistic via rank sums.
+    combined = np.concatenate([positives, negatives])
+    ranks = combined.argsort().argsort().astype(float) + 1.0
+    # Average ranks for ties.
+    order = np.argsort(combined, kind="stable")
+    sorted_values = combined[order]
+    i = 0
+    while i < sorted_values.shape[0]:
+        j = i
+        while j + 1 < sorted_values.shape[0] and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    rank_sum_positive = ranks[: positives.size].sum()
+    u_statistic = rank_sum_positive - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))

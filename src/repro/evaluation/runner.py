@@ -1,0 +1,113 @@
+"""Experiment runner: detector + dataset + metrics in one call.
+
+Used by the benchmark harnesses and the examples to keep the
+"run the detector on this dataset and evaluate against its ground truth"
+boilerplate in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core import BagChangePointDetector, DetectionResult, DetectorConfig
+from ..datasets.base import BagDataset
+from .metrics import MatchingResult, false_alarm_rate, match_alarms, score_auc
+
+
+@dataclass
+class ExperimentReport:
+    """Detection result plus its evaluation against the dataset's ground truth."""
+
+    dataset_name: str
+    detection: DetectionResult
+    matching: MatchingResult
+    auc: float
+    false_alarm_rate: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary suitable for tabular printing."""
+        return {
+            "dataset": self.dataset_name,
+            "n_alerts": int(self.detection.alerts.sum()),
+            "precision": round(self.matching.precision, 3),
+            "recall": round(self.matching.recall, 3),
+            "f1": round(self.matching.f1, 3),
+            "mean_delay": (
+                round(self.matching.mean_delay, 2)
+                if np.isfinite(self.matching.mean_delay)
+                else None
+            ),
+            "auc": round(self.auc, 3) if np.isfinite(self.auc) else None,
+            "false_alarm_rate": round(self.false_alarm_rate, 4),
+        }
+
+
+def run_experiment(
+    dataset: BagDataset,
+    config: Optional[DetectorConfig] = None,
+    *,
+    tolerance: int = 5,
+    detector: Optional[BagChangePointDetector] = None,
+    **config_kwargs,
+) -> ExperimentReport:
+    """Run the bag-of-data detector on a dataset and evaluate the alarms.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.datasets.BagDataset` with ground-truth change points.
+    config:
+        Optional detector configuration; keyword arguments may be given
+        instead and are forwarded to :class:`~repro.core.DetectorConfig`.
+    tolerance:
+        Matching window (in bags) for counting an alarm as a detection.
+    detector:
+        A pre-built detector instance (overrides ``config``).
+    """
+    if detector is None:
+        detector = (
+            BagChangePointDetector(config)
+            if config is not None
+            else BagChangePointDetector(**config_kwargs)
+        )
+    detection = detector.detect(dataset.bags)
+    matching = match_alarms(
+        detection.alarm_times.tolist(), dataset.change_points, tolerance=tolerance
+    )
+    auc = score_auc(
+        detection.scores, detection.times, dataset.change_points, tolerance=tolerance
+    )
+    far = false_alarm_rate(
+        detection.alarm_times.tolist(),
+        dataset.change_points,
+        len(dataset.bags),
+        tolerance=tolerance,
+    )
+    return ExperimentReport(
+        dataset_name=dataset.name,
+        detection=detection,
+        matching=matching,
+        auc=auc,
+        false_alarm_rate=far,
+        extra={"change_points": list(dataset.change_points)},
+    )
+
+
+def format_report_table(reports) -> str:
+    """Render a list of :class:`ExperimentReport` as an aligned text table."""
+    rows = [report.row() for report in reports]
+    if not rows:
+        return "(no results)"
+    headers = list(rows[0].keys())
+    widths = {h: max(len(str(h)), max(len(str(r[h])) for r in rows)) for h in headers}
+    lines = [
+        "  ".join(str(h).ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses are raised where a
+caller may reasonably want to distinguish failure modes (bad input data,
+solver failures, configuration problems).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters are invalid.
+
+    Inherits from :class:`ValueError` so generic callers that catch
+    ``ValueError`` keep working.
+    """
+
+
+class EmptyBagError(ValidationError):
+    """Raised when a bag with zero observations is supplied where data is required."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """Raised when an optimisation backend fails to produce a valid solution."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before being fitted."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a detector or estimator is configured inconsistently."""

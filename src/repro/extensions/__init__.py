@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's core method (its stated future work)."""
+
+from .feature_selection import SupervisedFeatureWeighter, dimension_change_scores
+
+__all__ = ["SupervisedFeatureWeighter", "dimension_change_scores"]

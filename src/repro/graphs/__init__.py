@@ -1,0 +1,34 @@
+"""Bipartite-graph substrate for network change-point detection (paper §5.3)."""
+
+from .bipartite import BipartiteGraph
+from .features import (
+    FEATURE_NAMES,
+    destination_degrees,
+    destination_in_weights,
+    destination_second_degrees,
+    edge_weights,
+    extract_all_features,
+    extract_feature,
+    feature_bag_sequences,
+    source_degrees,
+    source_out_weights,
+    source_second_degrees,
+)
+from .generators import CommunityModel, sample_community_graph
+
+__all__ = [
+    "BipartiteGraph",
+    "FEATURE_NAMES",
+    "extract_feature",
+    "extract_all_features",
+    "feature_bag_sequences",
+    "source_degrees",
+    "destination_degrees",
+    "source_second_degrees",
+    "destination_second_degrees",
+    "source_out_weights",
+    "destination_in_weights",
+    "edge_weights",
+    "CommunityModel",
+    "sample_community_graph",
+]

@@ -1,0 +1,125 @@
+"""The seven per-node / per-edge features of paper Section 5.3.
+
+For each bipartite graph observed in a time window, seven statistics are
+extracted; each statistic produces a *bag* of one-dimensional values (one
+per node or per edge), so that graphs with different numbers of nodes can
+be compared through the bag-of-data change-point detector:
+
+1. degrees of source nodes;
+2. degrees of destination nodes;
+3. second degrees of source nodes (number of other source nodes reachable
+   through a shared destination);
+4. second degrees of destination nodes;
+5. total weight of the edges leaving each source node;
+6. total weight of the edges entering each destination node;
+7. the weight of each edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .bipartite import BipartiteGraph
+
+FEATURE_NAMES: Dict[int, str] = {
+    1: "source_degree",
+    2: "destination_degree",
+    3: "source_second_degree",
+    4: "destination_second_degree",
+    5: "source_out_weight",
+    6: "destination_in_weight",
+    7: "edge_weight",
+}
+
+
+def source_degrees(graph: BipartiteGraph) -> np.ndarray:
+    """Feature 1: number of destinations each source node connects to."""
+    return graph.adjacency.sum(axis=1)
+
+
+def destination_degrees(graph: BipartiteGraph) -> np.ndarray:
+    """Feature 2: number of sources each destination node is connected to."""
+    return graph.adjacency.sum(axis=0)
+
+
+def source_second_degrees(graph: BipartiteGraph) -> np.ndarray:
+    """Feature 3: per source node, the number of *other* source nodes that
+    share at least one destination with it."""
+    adjacency = graph.adjacency
+    co_connection = adjacency @ adjacency.T > 0
+    np.fill_diagonal(co_connection, False)
+    return co_connection.sum(axis=1).astype(float)
+
+
+def destination_second_degrees(graph: BipartiteGraph) -> np.ndarray:
+    """Feature 4: per destination node, the number of *other* destination
+    nodes that share at least one source with it."""
+    adjacency = graph.adjacency
+    co_connection = adjacency.T @ adjacency > 0
+    np.fill_diagonal(co_connection, False)
+    return co_connection.sum(axis=1).astype(float)
+
+
+def source_out_weights(graph: BipartiteGraph) -> np.ndarray:
+    """Feature 5: total weight of the edges coming out of each source node."""
+    return graph.weights.sum(axis=1)
+
+
+def destination_in_weights(graph: BipartiteGraph) -> np.ndarray:
+    """Feature 6: total weight of the edges going into each destination node."""
+    return graph.weights.sum(axis=0)
+
+
+def edge_weights(graph: BipartiteGraph) -> np.ndarray:
+    """Feature 7: the weight of each existing edge."""
+    values = graph.weights[graph.weights > 0]
+    if values.size == 0:
+        # A graph with no edges still needs a non-empty bag; represent it by
+        # a single zero-weight pseudo-edge so downstream code keeps working.
+        return np.zeros(1)
+    return values
+
+
+_EXTRACTORS: Dict[int, Callable[[BipartiteGraph], np.ndarray]] = {
+    1: source_degrees,
+    2: destination_degrees,
+    3: source_second_degrees,
+    4: destination_second_degrees,
+    5: source_out_weights,
+    6: destination_in_weights,
+    7: edge_weights,
+}
+
+
+def extract_feature(graph: BipartiteGraph, feature_id: int) -> np.ndarray:
+    """Extract one of the seven features as a column vector bag ``(n, 1)``."""
+    if feature_id not in _EXTRACTORS:
+        raise ConfigurationError(
+            f"feature_id must be one of {sorted(_EXTRACTORS)}, got {feature_id}"
+        )
+    values = _EXTRACTORS[feature_id](graph)
+    return np.asarray(values, dtype=float).reshape(-1, 1)
+
+
+def extract_all_features(graph: BipartiteGraph) -> Dict[int, np.ndarray]:
+    """Extract all seven features of one graph, keyed by feature id."""
+    return {fid: extract_feature(graph, fid) for fid in sorted(_EXTRACTORS)}
+
+
+def feature_bag_sequences(
+    graphs: Sequence[BipartiteGraph],
+) -> Dict[int, List[np.ndarray]]:
+    """Turn a sequence of graphs into seven bag sequences (one per feature).
+
+    The returned dictionary maps each feature id to the list of per-graph
+    bags that can be fed directly to
+    :class:`~repro.core.BagChangePointDetector`.
+    """
+    sequences: Dict[int, List[np.ndarray]] = {fid: [] for fid in sorted(_EXTRACTORS)}
+    for graph in graphs:
+        for fid in sequences:
+            sequences[fid].append(extract_feature(graph, fid))
+    return sequences

@@ -1,0 +1,175 @@
+"""Generators of community-structured bipartite graphs (paper §5.3).
+
+The synthetic bipartite experiments assume that the source and destination
+nodes are partitioned into clusters; each (source cluster, destination
+cluster) pair forms a *community* whose edge weights follow a Poisson
+distribution with its own rate λ_{k,l} (paper Fig. 8).  This module
+provides the generator for a single graph plus helpers used by
+:mod:`repro.datasets.bipartite_streams` to produce whole streams with
+scripted parameter changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import as_rng
+from ..exceptions import ValidationError
+from .bipartite import BipartiteGraph
+
+
+@dataclass(frozen=True)
+class CommunityModel:
+    """Parameters of a two-sided community-structured bipartite graph.
+
+    Attributes
+    ----------
+    rate_matrix:
+        ``(K, L)`` matrix of Poisson rates λ_{k,l}: the expected weight of
+        an edge between a source node of cluster ``k`` and a destination
+        node of cluster ``l``.
+    source_fractions:
+        Length-``K`` vector of source cluster proportions (sums to 1);
+        with two clusters this is ``(κ, 1 − κ)`` in the paper's notation.
+    destination_fractions:
+        Length-``L`` vector of destination cluster proportions
+        (``(δ, 1 − δ)`` in the paper).
+    mean_sources, mean_destinations:
+        Poisson means of the total number of source / destination nodes.
+    """
+
+    rate_matrix: np.ndarray
+    source_fractions: np.ndarray
+    destination_fractions: np.ndarray
+    mean_sources: float = 200.0
+    mean_destinations: float = 200.0
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rate_matrix, dtype=float)
+        src = np.asarray(self.source_fractions, dtype=float).ravel()
+        dst = np.asarray(self.destination_fractions, dtype=float).ravel()
+        if rates.ndim != 2:
+            raise ValidationError("rate_matrix must be 2-D")
+        if np.any(rates < 0):
+            raise ValidationError("Poisson rates must be non-negative")
+        if rates.shape != (src.size, dst.size):
+            raise ValidationError(
+                f"rate_matrix shape {rates.shape} does not match cluster fractions "
+                f"({src.size}, {dst.size})"
+            )
+        for name, fractions in (("source_fractions", src), ("destination_fractions", dst)):
+            if np.any(fractions < 0) or not np.isclose(fractions.sum(), 1.0):
+                raise ValidationError(f"{name} must be non-negative and sum to one")
+        if self.mean_sources <= 0 or self.mean_destinations <= 0:
+            raise ValidationError("mean node counts must be positive")
+        object.__setattr__(self, "rate_matrix", rates)
+        object.__setattr__(self, "source_fractions", src)
+        object.__setattr__(self, "destination_fractions", dst)
+
+    def with_rates(self, rate_matrix: np.ndarray) -> "CommunityModel":
+        """Copy of the model with a different rate matrix."""
+        return CommunityModel(
+            rate_matrix=np.asarray(rate_matrix, dtype=float),
+            source_fractions=self.source_fractions,
+            destination_fractions=self.destination_fractions,
+            mean_sources=self.mean_sources,
+            mean_destinations=self.mean_destinations,
+        )
+
+    def with_partitions(self, kappa: float, delta: float) -> "CommunityModel":
+        """Copy with two-cluster partitions ``(κ, 1−κ)`` and ``(δ, 1−δ)``."""
+        if self.rate_matrix.shape != (2, 2):
+            raise ValidationError("with_partitions requires a 2x2 community model")
+        if not (0.0 <= kappa <= 1.0 and 0.0 <= delta <= 1.0):
+            raise ValidationError("kappa and delta must lie in [0, 1]")
+        return CommunityModel(
+            rate_matrix=self.rate_matrix,
+            source_fractions=np.array([kappa, 1.0 - kappa]),
+            destination_fractions=np.array([delta, 1.0 - delta]),
+            mean_sources=self.mean_sources,
+            mean_destinations=self.mean_destinations,
+        )
+
+
+def _cluster_sizes(total: int, fractions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Split ``total`` nodes into clusters according to ``fractions``."""
+    sizes = np.floor(total * fractions).astype(int)
+    remainder = total - sizes.sum()
+    if remainder > 0:
+        extra = rng.choice(len(fractions), size=remainder, p=fractions)
+        for idx in extra:
+            sizes[idx] += 1
+    return sizes
+
+
+def sample_community_graph(
+    model: CommunityModel,
+    *,
+    rng: Union[None, int, np.random.Generator] = None,
+    index: Optional[object] = None,
+    shuffle_nodes: bool = True,
+    fixed_total_weight: Optional[float] = None,
+) -> BipartiteGraph:
+    """Sample one bipartite graph from a community model.
+
+    Parameters
+    ----------
+    model:
+        The community model to sample from.
+    rng:
+        Seed or generator.
+    index:
+        Optional time label for the resulting graph.
+    shuffle_nodes:
+        Shuffle node identities so the community structure is not apparent
+        from the node ordering (the paper's Fig. 8(a) "observed" view).
+    fixed_total_weight:
+        When given, the total edge weight is fixed to this value and
+        distributed to communities proportionally to their λ rates
+        (paper's dataset 3 construction), with the weight spread uniformly
+        at random over the edges within each community.
+    """
+    generator = as_rng(rng)
+    n_sources = max(1, int(generator.poisson(model.mean_sources)))
+    n_destinations = max(1, int(generator.poisson(model.mean_destinations)))
+
+    source_sizes = _cluster_sizes(n_sources, model.source_fractions, generator)
+    destination_sizes = _cluster_sizes(n_destinations, model.destination_fractions, generator)
+    source_labels = np.repeat(np.arange(source_sizes.size), source_sizes)
+    destination_labels = np.repeat(np.arange(destination_sizes.size), destination_sizes)
+    # Guard against a cluster assignment shorter than the node count due to
+    # empty clusters (all nodes then fall into the populated clusters).
+    if source_labels.size < n_sources:
+        source_labels = np.concatenate(
+            [source_labels, np.zeros(n_sources - source_labels.size, dtype=int)]
+        )
+    if destination_labels.size < n_destinations:
+        destination_labels = np.concatenate(
+            [destination_labels, np.zeros(n_destinations - destination_labels.size, dtype=int)]
+        )
+
+    rate_per_edge = model.rate_matrix[np.ix_(source_labels, destination_labels)]
+    if fixed_total_weight is None:
+        weights = generator.poisson(rate_per_edge).astype(float)
+    else:
+        if fixed_total_weight <= 0:
+            raise ValidationError("fixed_total_weight must be positive")
+        # Distribute the fixed budget over communities proportionally to the
+        # rates, then spread each community's budget over its edges via a
+        # multinomial draw (uniform within the community).
+        total_rate = rate_per_edge.sum()
+        if total_rate <= 0:
+            weights = np.zeros_like(rate_per_edge)
+        else:
+            probabilities = (rate_per_edge / total_rate).ravel()
+            counts = generator.multinomial(int(fixed_total_weight), probabilities)
+            weights = counts.reshape(rate_per_edge.shape).astype(float)
+
+    if shuffle_nodes:
+        weights = weights[generator.permutation(n_sources), :]
+        weights = weights[:, generator.permutation(n_destinations)]
+
+    return BipartiteGraph(weights, index=index)

@@ -1,0 +1,31 @@
+"""Distance-based information estimators for weighted data (paper Section 3.3)."""
+
+from .estimators import (
+    DEFAULT_CONFIG,
+    EstimatorConfig,
+    WeightedInformationEstimator,
+    auto_entropy,
+    cross_entropy,
+    information_content,
+)
+from .weights import (
+    discounted_reference_weights,
+    discounted_test_weights,
+    normalize_weights,
+    resolve_weights,
+    uniform_weights,
+)
+
+__all__ = [
+    "EstimatorConfig",
+    "DEFAULT_CONFIG",
+    "WeightedInformationEstimator",
+    "information_content",
+    "auto_entropy",
+    "cross_entropy",
+    "uniform_weights",
+    "discounted_reference_weights",
+    "discounted_test_weights",
+    "resolve_weights",
+    "normalize_weights",
+]

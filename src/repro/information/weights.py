@@ -1,0 +1,72 @@
+"""Weighting schemes for signatures in the reference and test windows.
+
+The information estimators operate on *weighted* sets of signatures
+``S = {(S_i, ψ_i)}`` with ``Σ ψ_i = 1`` (paper Section 3.3).  The paper
+uses either uniform weights (``ψ_i = 1/τ``) or time-discounted weights
+that emphasise bags closer to the inspection point (Eq. 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int, check_weights
+from ..exceptions import ConfigurationError
+
+
+def uniform_weights(n: int) -> np.ndarray:
+    """Uniform weights ``ψ_i = 1/n`` over ``n`` signatures."""
+    n = check_positive_int(n, "n")
+    return np.full(n, 1.0 / n)
+
+
+def discounted_reference_weights(n: int, inspection_offset: int = 0) -> np.ndarray:
+    """Time-discounted weights for a reference window of length ``n``.
+
+    Following paper Eq. 15, the weight of the bag at time ``t - k``
+    (``k = 1 .. n``) is proportional to ``1 / k``: bags closer to the
+    inspection point ``t`` receive larger weight.  The returned array is
+    ordered chronologically (oldest bag first) and normalised to sum to 1.
+
+    Parameters
+    ----------
+    n:
+        Window length τ.
+    inspection_offset:
+        Extra lag between the newest bag in the window and the inspection
+        point (0 when the window ends immediately before ``t``).
+    """
+    n = check_positive_int(n, "n")
+    lags = np.arange(n, 0, -1) + inspection_offset  # oldest bag has the largest lag
+    raw = 1.0 / lags
+    return raw / raw.sum()
+
+
+def discounted_test_weights(n: int) -> np.ndarray:
+    """Time-discounted weights for a test window of length ``n``.
+
+    The bag at time ``t + k`` (``k = 0 .. n-1``) receives weight
+    proportional to ``1 / (k + 1)``, i.e. the bag at the inspection point
+    itself is emphasised most (paper Eq. 15, second case).  Ordered
+    chronologically and normalised.
+    """
+    n = check_positive_int(n, "n")
+    raw = 1.0 / np.arange(1, n + 1)
+    return raw / raw.sum()
+
+
+def resolve_weights(scheme: str, n: int, *, is_test: bool = False) -> np.ndarray:
+    """Return a weight vector by scheme name (``"uniform"`` or ``"discounted"``)."""
+    name = str(scheme).lower()
+    if name == "uniform":
+        return uniform_weights(n)
+    if name == "discounted":
+        return discounted_test_weights(n) if is_test else discounted_reference_weights(n)
+    raise ConfigurationError(
+        f"unknown weighting scheme {scheme!r}; expected 'uniform' or 'discounted'"
+    )
+
+
+def normalize_weights(weights: np.ndarray) -> np.ndarray:
+    """Validate and normalise an arbitrary non-negative weight vector."""
+    return check_weights(weights, "weights", normalize=True)

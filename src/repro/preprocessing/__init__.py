@@ -1,0 +1,7 @@
+"""Preprocessing utilities for bag streams (scaling, PCA, innovation filtering)."""
+
+from .innovations import InnovationFilter
+from .pca import BagPCA
+from .scaling import BagRobustScaler, BagStandardScaler
+
+__all__ = ["BagStandardScaler", "BagRobustScaler", "BagPCA", "InnovationFilter"]

@@ -1,0 +1,90 @@
+"""Principal component analysis for dimensionality reduction of bag streams.
+
+The paper's future-work section notes that only a few dimensions of the
+observations may be relevant to changes, and that an underlying structure
+of lower dimension ``d' < d`` may separate normal and abnormal behaviour
+better.  An unsupervised first step in that direction is to project the
+observations onto their leading principal components before building
+signatures — fewer dimensions also make the ground-distance computations
+cheaper.  The implementation is a small, from-scratch PCA (covariance
+eigendecomposition) operating on whole bag sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_matrix, check_positive_int
+from ..exceptions import NotFittedError, ValidationError
+
+
+class BagPCA:
+    """PCA fitted on all observations of a bag stream.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal components to keep; must not exceed the data
+        dimensionality.
+    whiten:
+        Scale each projected component to unit variance.
+    """
+
+    def __init__(self, n_components: int = 2, *, whiten: bool = False):
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.whiten = bool(whiten)
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    def fit(self, bags: Sequence[np.ndarray]) -> "BagPCA":
+        """Estimate the principal directions from all observations."""
+        if len(bags) == 0:
+            raise ValidationError("need at least one bag to fit the PCA")
+        stacked = np.vstack([check_matrix(bag, "bag") for bag in bags])
+        n, d = stacked.shape
+        if self.n_components > d:
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds the data dimension {d}"
+            )
+        self.mean_ = stacked.mean(axis=0)
+        centered = stacked - self.mean_
+        covariance = centered.T @ centered / max(n - 1, 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+        eigenvectors = eigenvectors[:, order]
+        self.components_ = eigenvectors[:, : self.n_components].T
+        self.explained_variance_ = eigenvalues[: self.n_components]
+        total = eigenvalues.sum()
+        self.explained_variance_ratio_ = (
+            self.explained_variance_ / total if total > 0 else np.zeros(self.n_components)
+        )
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise NotFittedError("BagPCA must be fitted before use")
+
+    def transform(self, bags: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Project every bag onto the fitted principal components."""
+        self._check_fitted()
+        out = []
+        for bag in bags:
+            data = check_matrix(bag, "bag")
+            if data.shape[1] != self.mean_.shape[0]:
+                raise ValidationError(
+                    f"bag has {data.shape[1]} dimensions, PCA was fitted on {self.mean_.shape[0]}"
+                )
+            projected = (data - self.mean_) @ self.components_.T
+            if self.whiten:
+                projected = projected / np.sqrt(np.maximum(self.explained_variance_, 1e-12))
+            out.append(projected)
+        return out
+
+    def fit_transform(self, bags: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Fit on ``bags`` and return the projected stream."""
+        return self.fit(bags).transform(bags)

@@ -1,0 +1,134 @@
+"""Scaling / standardisation utilities for bag streams.
+
+The EMD is not scale-invariant: a sensor channel measured in milli-g would
+dominate one measured in g.  When the channels of a bag stream live on very
+different scales it is therefore good practice to standardise them *using
+statistics estimated from a reference portion of the stream* before
+building signatures.  The transformers here follow a fit/transform pattern
+and operate on whole bag sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_matrix
+from ..exceptions import NotFittedError, ValidationError
+
+
+class BagStandardScaler:
+    """Per-dimension standardisation of all observations in a bag stream.
+
+    Parameters
+    ----------
+    with_mean:
+        Subtract the per-dimension mean.
+    with_std:
+        Divide by the per-dimension standard deviation.
+    epsilon:
+        Floor applied to the standard deviation to avoid division by zero
+        for constant dimensions.
+    """
+
+    def __init__(self, *, with_mean: bool = True, with_std: bool = True, epsilon: float = 1e-12):
+        if epsilon <= 0:
+            raise ValidationError("epsilon must be positive")
+        self.with_mean = bool(with_mean)
+        self.with_std = bool(with_std)
+        self.epsilon = float(epsilon)
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, bags: Sequence[np.ndarray]) -> "BagStandardScaler":
+        """Estimate the per-dimension mean and scale from all observations."""
+        if len(bags) == 0:
+            raise ValidationError("need at least one bag to fit the scaler")
+        stacked = np.vstack([check_matrix(bag, "bag") for bag in bags])
+        self.mean_ = stacked.mean(axis=0)
+        std = stacked.std(axis=0)
+        self.scale_ = np.maximum(std, self.epsilon)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("BagStandardScaler must be fitted before use")
+
+    def transform(self, bags: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Apply the fitted standardisation to every bag."""
+        self._check_fitted()
+        out = []
+        for bag in bags:
+            data = check_matrix(bag, "bag")
+            if data.shape[1] != self.mean_.shape[0]:
+                raise ValidationError(
+                    f"bag has {data.shape[1]} dimensions, scaler was fitted on {self.mean_.shape[0]}"
+                )
+            if self.with_mean:
+                data = data - self.mean_
+            if self.with_std:
+                data = data / self.scale_
+            out.append(data)
+        return out
+
+    def fit_transform(self, bags: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Fit on ``bags`` and return the transformed stream."""
+        return self.fit(bags).transform(bags)
+
+    def inverse_transform(self, bags: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Undo the standardisation."""
+        self._check_fitted()
+        out = []
+        for bag in bags:
+            data = check_matrix(bag, "bag")
+            if self.with_std:
+                data = data * self.scale_
+            if self.with_mean:
+                data = data + self.mean_
+            out.append(data)
+        return out
+
+
+class BagRobustScaler:
+    """Median / inter-quartile-range standardisation, robust to outliers.
+
+    Useful for the heavy-tailed per-node statistics of the bipartite-graph
+    pipeline (edge weights can span orders of magnitude).
+    """
+
+    def __init__(self, *, epsilon: float = 1e-12):
+        if epsilon <= 0:
+            raise ValidationError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+        self.median_: Optional[np.ndarray] = None
+        self.iqr_: Optional[np.ndarray] = None
+
+    def fit(self, bags: Sequence[np.ndarray]) -> "BagRobustScaler":
+        """Estimate per-dimension medians and inter-quartile ranges."""
+        if len(bags) == 0:
+            raise ValidationError("need at least one bag to fit the scaler")
+        stacked = np.vstack([check_matrix(bag, "bag") for bag in bags])
+        self.median_ = np.median(stacked, axis=0)
+        q75 = np.percentile(stacked, 75, axis=0)
+        q25 = np.percentile(stacked, 25, axis=0)
+        self.iqr_ = np.maximum(q75 - q25, self.epsilon)
+        return self
+
+    def transform(self, bags: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Apply the fitted robust standardisation to every bag."""
+        if self.median_ is None or self.iqr_ is None:
+            raise NotFittedError("BagRobustScaler must be fitted before use")
+        out = []
+        for bag in bags:
+            data = check_matrix(bag, "bag")
+            if data.shape[1] != self.median_.shape[0]:
+                raise ValidationError(
+                    f"bag has {data.shape[1]} dimensions, scaler was fitted on {self.median_.shape[0]}"
+                )
+            out.append((data - self.median_) / self.iqr_)
+        return out
+
+    def fit_transform(self, bags: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Fit on ``bags`` and return the transformed stream."""
+        return self.fit(bags).transform(bags)

@@ -1,0 +1,26 @@
+"""Vector quantisers used to turn bags of vectors into signatures.
+
+The paper's Section 3.1 lists k-means, k-medoids, learning vector
+quantisation and fixed-width histograms as ways to summarise the empirical
+distribution of a bag; all are provided here behind a common
+:class:`~repro.quantize.base.BaseQuantizer` interface.
+"""
+
+from .base import BaseQuantizer, QuantizationResult, counts_from_labels, drop_empty_clusters
+from .histogram import HistogramQuantizer
+from .kmeans import KMeans, kmeans_plusplus_init
+from .kmedoids import KMedoids, pairwise_distances
+from .lvq import LearningVectorQuantizer
+
+__all__ = [
+    "BaseQuantizer",
+    "QuantizationResult",
+    "counts_from_labels",
+    "drop_empty_clusters",
+    "HistogramQuantizer",
+    "KMeans",
+    "kmeans_plusplus_init",
+    "KMedoids",
+    "pairwise_distances",
+    "LearningVectorQuantizer",
+]

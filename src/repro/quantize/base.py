@@ -1,0 +1,114 @@
+"""Common interface for vector quantisers used to build signatures.
+
+A quantiser compresses a bag of ``n`` vectors into at most ``K`` cluster
+centres with associated member counts.  The paper (Section 3.1) mentions
+k-means, k-medoids, learning vector quantisation, and fixed-width
+histograms as suitable quantisers; all four are implemented in this
+package behind the :class:`BaseQuantizer` interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from .._validation import as_rng, check_matrix
+from ..exceptions import NotFittedError
+
+
+@dataclass(frozen=True)
+class QuantizationResult:
+    """Outcome of quantising a bag of vectors.
+
+    Attributes
+    ----------
+    centers:
+        Array of shape ``(K, d)`` holding the representative vectors.
+    counts:
+        Array of shape ``(K,)`` with the number of original observations
+        assigned to each centre.  ``counts.sum()`` equals the bag size.
+    labels:
+        Array of shape ``(n,)`` assigning each original observation to a
+        centre index in ``[0, K)``.
+    inertia:
+        Sum of squared distances of observations to their assigned centre
+        (``nan`` for quantisers where this is not meaningful).
+    """
+
+    centers: np.ndarray
+    counts: np.ndarray
+    labels: np.ndarray
+    inertia: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.centers.shape[0] != self.counts.shape[0]:
+            raise ValueError("centers and counts must have matching lengths")
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of non-empty clusters in the result."""
+        return int(self.centers.shape[0])
+
+    @property
+    def n_points(self) -> int:
+        """Number of observations that were quantised."""
+        return int(self.counts.sum())
+
+
+class BaseQuantizer(abc.ABC):
+    """Abstract base class for bag quantisers.
+
+    Subclasses implement :meth:`fit` returning a
+    :class:`QuantizationResult`; :meth:`fit_predict` is provided for
+    convenience and returns only the labels.
+    """
+
+    def __init__(self, random_state: Union[None, int, np.random.Generator] = None):
+        self.random_state = random_state
+        self._result: Optional[QuantizationResult] = None
+
+    @abc.abstractmethod
+    def fit(self, data: np.ndarray) -> QuantizationResult:
+        """Quantise ``data`` (shape ``(n, d)``) and return the result."""
+
+    def fit_predict(self, data: np.ndarray) -> np.ndarray:
+        """Quantise ``data`` and return only the per-point labels."""
+        return self.fit(data).labels
+
+    @property
+    def result_(self) -> QuantizationResult:
+        """Result of the most recent :meth:`fit` call."""
+        if self._result is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted yet")
+        return self._result
+
+    def _rng(self) -> np.random.Generator:
+        return as_rng(self.random_state)
+
+    @staticmethod
+    def _validate(data: np.ndarray) -> np.ndarray:
+        return check_matrix(data, "data")
+
+
+def counts_from_labels(labels: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Count how many points are assigned to each of ``n_clusters`` clusters."""
+    return np.bincount(np.asarray(labels, dtype=int), minlength=n_clusters).astype(float)
+
+
+def drop_empty_clusters(
+    centers: np.ndarray, counts: np.ndarray, labels: np.ndarray
+) -> QuantizationResult:
+    """Remove empty clusters and re-index labels accordingly."""
+    keep = counts > 0
+    if np.all(keep):
+        return QuantizationResult(centers=centers, counts=counts, labels=labels)
+    new_index = -np.ones(len(counts), dtype=int)
+    new_index[keep] = np.arange(int(keep.sum()))
+    return QuantizationResult(
+        centers=centers[keep],
+        counts=counts[keep],
+        labels=new_index[labels],
+    )

@@ -1,0 +1,116 @@
+"""Histogram quantiser: fixed-width binning of bags.
+
+The paper (Section 3.1) notes that for low-dimensional data (especially
+1-D) a very simple way of building signatures is to partition the space
+into fixed-width bins and count observations falling into each bin.  The
+resulting histogram is a special case of a signature where the cluster
+centres are bin centres.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+from .base import BaseQuantizer, QuantizationResult
+
+
+class HistogramQuantizer(BaseQuantizer):
+    """Fixed-grid histogram quantisation.
+
+    Parameters
+    ----------
+    bins:
+        Number of bins per dimension (scalar) or a sequence with one entry
+        per dimension.
+    range:
+        Optional ``(low, high)`` pair, or a sequence of pairs (one per
+        dimension), fixing the binning range.  When ``None`` the range of
+        the data being quantised is used; fixing the range is recommended
+        when signatures from different bags must share a common grid.
+    drop_empty:
+        When ``True`` (default) bins with zero count are not included in the
+        output, which keeps signatures small.
+    """
+
+    def __init__(
+        self,
+        bins: Union[int, Sequence[int]] = 10,
+        *,
+        range: Optional[Sequence] = None,
+        drop_empty: bool = True,
+    ):
+        super().__init__(random_state=None)
+        if isinstance(bins, (int, np.integer)):
+            check_positive_int(int(bins), "bins")
+        else:
+            bins = [check_positive_int(int(b), "bins") for b in bins]
+        self.bins = bins
+        self.range = range
+        self.drop_empty = bool(drop_empty)
+
+    def _resolve_edges(self, data: np.ndarray) -> list[np.ndarray]:
+        d = data.shape[1]
+        if isinstance(self.bins, (int, np.integer)):
+            bins_per_dim = [int(self.bins)] * d
+        else:
+            if len(self.bins) != d:
+                raise ValidationError(
+                    f"bins has {len(self.bins)} entries but data has {d} dimensions"
+                )
+            bins_per_dim = [int(b) for b in self.bins]
+
+        if self.range is None:
+            ranges = [(data[:, j].min(), data[:, j].max()) for j in range(d)]
+        else:
+            rng_spec = np.asarray(self.range, dtype=float)
+            if rng_spec.ndim == 1:
+                if rng_spec.shape[0] != 2:
+                    raise ValidationError("range must be a (low, high) pair")
+                ranges = [(rng_spec[0], rng_spec[1])] * d
+            else:
+                if rng_spec.shape != (d, 2):
+                    raise ValidationError(
+                        f"range must have shape ({d}, 2), got {rng_spec.shape}"
+                    )
+                ranges = [tuple(row) for row in rng_spec]
+
+        edges = []
+        for (low, high), nb in zip(ranges, bins_per_dim):
+            if high <= low:
+                high = low + 1.0
+            edges.append(np.linspace(low, high, nb + 1))
+        return edges
+
+    def fit(self, data: np.ndarray) -> QuantizationResult:
+        data = self._validate(data)
+        n, d = data.shape
+        edges = self._resolve_edges(data)
+        bins_per_dim = [len(e) - 1 for e in edges]
+
+        # Digitise each dimension into its bin index, clipping to the grid.
+        indices = np.empty((n, d), dtype=int)
+        for j in range(d):
+            idx = np.digitize(data[:, j], edges[j][1:-1], right=False)
+            indices[:, j] = np.clip(idx, 0, bins_per_dim[j] - 1)
+
+        flat = np.ravel_multi_index(indices.T, bins_per_dim)
+        unique_flat, labels, counts = np.unique(flat, return_inverse=True, return_counts=True)
+
+        centers_per_dim = [0.5 * (e[:-1] + e[1:]) for e in edges]
+        multi = np.array(np.unravel_index(unique_flat, bins_per_dim)).T
+        centers = np.column_stack(
+            [centers_per_dim[j][multi[:, j]] for j in range(d)]
+        )
+
+        result = QuantizationResult(
+            centers=centers,
+            counts=counts.astype(float),
+            labels=labels,
+            inertia=float(np.sum((data - centers[labels]) ** 2)),
+        )
+        self._result = result
+        return result

@@ -1,0 +1,156 @@
+"""From-scratch k-means clustering with k-means++ seeding.
+
+This is the default quantiser for building signatures from bags of
+multi-dimensional vectors (paper Section 3.1).  The implementation uses
+Lloyd's algorithm with k-means++ initialisation and supports multiple
+restarts, returning the solution with the lowest inertia.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+from .base import BaseQuantizer, QuantizationResult, counts_from_labels, drop_empty_clusters
+
+
+def kmeans_plusplus_init(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Select ``n_clusters`` initial centres using the k-means++ heuristic.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``(n, d)``.
+    n_clusters:
+        Number of centres to pick; must not exceed ``n``.
+    rng:
+        Source of randomness.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n_clusters, d)`` with the chosen centres.
+    """
+    n = data.shape[0]
+    centers = np.empty((n_clusters, data.shape[1]), dtype=float)
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for k in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with existing centres; pick uniformly.
+            idx = int(rng.integers(n))
+        else:
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+        centers[k] = data[idx]
+        dist_sq = np.sum((data - centers[k]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+def _assign(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Return the index of the nearest centre for each row of ``data``."""
+    # (n, K) squared distances computed without forming the full (n, K, d) cube.
+    sq = (
+        np.sum(data**2, axis=1)[:, None]
+        - 2.0 * data @ centers.T
+        + np.sum(centers**2, axis=1)[None, :]
+    )
+    return np.argmin(sq, axis=1)
+
+
+def lloyd_iteration(
+    data: np.ndarray, centers: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Run one Lloyd step: assign points, then recompute centres.
+
+    Empty clusters are re-seeded with the point farthest from its assigned
+    centre so that the requested number of clusters is preserved whenever
+    the data contains enough distinct points.
+    """
+    labels = _assign(data, centers)
+    new_centers = centers.copy()
+    for k in range(centers.shape[0]):
+        members = data[labels == k]
+        if len(members) > 0:
+            new_centers[k] = members.mean(axis=0)
+        else:
+            distances = np.sum((data - centers[labels]) ** 2, axis=1)
+            new_centers[k] = data[int(np.argmax(distances))]
+    labels = _assign(data, new_centers)
+    inertia = float(np.sum((data - new_centers[labels]) ** 2))
+    return new_centers, labels, inertia
+
+
+class KMeans(BaseQuantizer):
+    """Lloyd's k-means with k-means++ seeding and multiple restarts.
+
+    Parameters
+    ----------
+    n_clusters:
+        Requested number of clusters ``K``.  If a bag holds fewer than
+        ``K`` distinct points the effective number of clusters is reduced.
+    n_init:
+        Number of random restarts; the best (lowest-inertia) run wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Convergence tolerance on the decrease of inertia.
+    random_state:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-7,
+        random_state: Union[None, int, np.random.Generator] = None,
+    ):
+        super().__init__(random_state=random_state)
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        if tol < 0:
+            raise ValidationError("tol must be non-negative")
+        self.tol = float(tol)
+
+    def fit(self, data: np.ndarray) -> QuantizationResult:
+        data = self._validate(data)
+        rng = self._rng()
+        n_unique = np.unique(data, axis=0).shape[0]
+        k = min(self.n_clusters, n_unique)
+
+        best: QuantizationResult | None = None
+        for _ in range(self.n_init):
+            centers = kmeans_plusplus_init(data, k, rng)
+            prev_inertia = np.inf
+            labels = np.zeros(data.shape[0], dtype=int)
+            inertia = np.inf
+            for _ in range(self.max_iter):
+                centers, labels, inertia = lloyd_iteration(data, centers, rng)
+                if prev_inertia - inertia <= self.tol:
+                    break
+                prev_inertia = inertia
+            counts = counts_from_labels(labels, k)
+            result = drop_empty_clusters(centers, counts, labels)
+            result = QuantizationResult(
+                centers=result.centers,
+                counts=result.counts,
+                labels=result.labels,
+                inertia=inertia,
+            )
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        self._result = best
+        return best

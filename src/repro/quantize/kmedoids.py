@@ -1,0 +1,123 @@
+"""k-medoids clustering (PAM-style) for signature construction.
+
+k-medoids is mentioned in the paper (Section 3.1) as an alternative to
+k-means; its cluster centres are actual observations, which makes it more
+robust to outliers and applicable with arbitrary dissimilarities.  This
+implementation uses a build step (greedy medoid selection) followed by
+alternating assignment / medoid-update sweeps ("Voronoi iteration").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from .base import BaseQuantizer, QuantizationResult, counts_from_labels, drop_empty_clusters
+
+
+def pairwise_distances(
+    data: np.ndarray, metric: Optional[Callable[[np.ndarray, np.ndarray], float]] = None
+) -> np.ndarray:
+    """Compute the full ``(n, n)`` pairwise distance matrix.
+
+    With the default ``metric=None`` the Euclidean distance is computed with
+    a vectorised formula; otherwise ``metric`` is called for each pair.
+    """
+    n = data.shape[0]
+    if metric is None:
+        sq = (
+            np.sum(data**2, axis=1)[:, None]
+            - 2.0 * data @ data.T
+            + np.sum(data**2, axis=1)[None, :]
+        )
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq)
+    dist = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            dist[i, j] = dist[j, i] = float(metric(data[i], data[j]))
+    return dist
+
+
+class KMedoids(BaseQuantizer):
+    """Partitioning-around-medoids clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Requested number of medoids.
+    max_iter:
+        Maximum number of assignment / update sweeps.
+    metric:
+        Optional callable ``(x, y) -> float``; Euclidean by default.
+    random_state:
+        Seed or generator used to break ties in the greedy build phase.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        max_iter: int = 100,
+        metric: Optional[Callable[[np.ndarray, np.ndarray], float]] = None,
+        random_state: Union[None, int, np.random.Generator] = None,
+    ):
+        super().__init__(random_state=random_state)
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.metric = metric
+
+    def fit(self, data: np.ndarray) -> QuantizationResult:
+        data = self._validate(data)
+        n = data.shape[0]
+        k = min(self.n_clusters, n)
+        dist = pairwise_distances(data, self.metric)
+
+        medoids = self._build(dist, k)
+        labels = np.argmin(dist[:, medoids], axis=1)
+        for _ in range(self.max_iter):
+            new_medoids = medoids.copy()
+            for c in range(k):
+                members = np.where(labels == c)[0]
+                if members.size == 0:
+                    continue
+                within = dist[np.ix_(members, members)].sum(axis=1)
+                new_medoids[c] = members[int(np.argmin(within))]
+            new_labels = np.argmin(dist[:, new_medoids], axis=1)
+            if np.array_equal(new_medoids, medoids) and np.array_equal(new_labels, labels):
+                break
+            medoids, labels = new_medoids, new_labels
+
+        centers = data[medoids]
+        counts = counts_from_labels(labels, k)
+        inertia = float(dist[np.arange(n), medoids[labels]].sum())
+        result = drop_empty_clusters(centers, counts, labels)
+        result = QuantizationResult(
+            centers=result.centers,
+            counts=result.counts,
+            labels=result.labels,
+            inertia=inertia,
+        )
+        self._result = result
+        return result
+
+    def _build(self, dist: np.ndarray, k: int) -> np.ndarray:
+        """Greedy medoid initialisation: repeatedly add the point that most
+        reduces the total distance to the nearest medoid."""
+        n = dist.shape[0]
+        first = int(np.argmin(dist.sum(axis=1)))
+        medoids = [first]
+        nearest = dist[:, first].copy()
+        while len(medoids) < k:
+            gains = np.array(
+                [
+                    np.sum(np.maximum(nearest - dist[:, j], 0.0)) if j not in medoids else -np.inf
+                    for j in range(n)
+                ]
+            )
+            best = int(np.argmax(gains))
+            medoids.append(best)
+            nearest = np.minimum(nearest, dist[:, best])
+        return np.array(medoids, dtype=int)

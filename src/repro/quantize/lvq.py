@@ -1,0 +1,85 @@
+"""Unsupervised learning vector quantisation (competitive learning).
+
+The paper cites Kohonen's learning vector quantisation as one of the
+quantisers that can produce signatures.  Since bags carry no class labels,
+this module implements the unsupervised variant (a.k.a. online
+competitive learning / "LVQ without labels"): prototypes are pulled toward
+observations presented one at a time with a decaying learning rate.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ValidationError
+from .base import BaseQuantizer, QuantizationResult, counts_from_labels, drop_empty_clusters
+from .kmeans import kmeans_plusplus_init, _assign
+
+
+class LearningVectorQuantizer(BaseQuantizer):
+    """Online competitive-learning quantiser.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of prototypes.
+    learning_rate:
+        Initial learning rate; decays linearly to zero over the epochs.
+    n_epochs:
+        Number of passes over the bag.
+    shuffle:
+        Whether to shuffle the presentation order each epoch.
+    random_state:
+        Seed or generator controlling initialisation and shuffling.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        learning_rate: float = 0.1,
+        n_epochs: int = 10,
+        shuffle: bool = True,
+        random_state: Union[None, int, np.random.Generator] = None,
+    ):
+        super().__init__(random_state=random_state)
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValidationError("learning_rate must lie in (0, 1]")
+        self.learning_rate = float(learning_rate)
+        self.n_epochs = check_positive_int(n_epochs, "n_epochs")
+        self.shuffle = bool(shuffle)
+
+    def fit(self, data: np.ndarray) -> QuantizationResult:
+        data = self._validate(data)
+        rng = self._rng()
+        n = data.shape[0]
+        k = min(self.n_clusters, np.unique(data, axis=0).shape[0])
+
+        prototypes = kmeans_plusplus_init(data, k, rng)
+        total_steps = self.n_epochs * n
+        step = 0
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n) if self.shuffle else np.arange(n)
+            for idx in order:
+                x = data[idx]
+                winner = int(np.argmin(np.sum((prototypes - x) ** 2, axis=1)))
+                eta = self.learning_rate * (1.0 - step / total_steps)
+                prototypes[winner] += eta * (x - prototypes[winner])
+                step += 1
+
+        labels = _assign(data, prototypes)
+        counts = counts_from_labels(labels, k)
+        inertia = float(np.sum((data - prototypes[labels]) ** 2))
+        result = drop_empty_clusters(prototypes, counts, labels)
+        result = QuantizationResult(
+            centers=result.centers,
+            counts=result.counts,
+            labels=result.labels,
+            inertia=inertia,
+        )
+        self._result = result
+        return result

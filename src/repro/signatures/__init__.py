@@ -1,0 +1,6 @@
+"""Signature representation of bags (paper Section 3.1)."""
+
+from .builders import SignatureBuilder, build_signature
+from .signature import Signature
+
+__all__ = ["Signature", "SignatureBuilder", "build_signature"]

@@ -1,0 +1,156 @@
+"""The :class:`Signature` type — a weighted set of representative vectors.
+
+A signature ``S = {(u_k, w_k)}_{k=1..K}`` (paper Eq. 6) summarises the
+empirical distribution of a bag: ``u_k`` are cluster centres (or bin
+centres) and ``w_k`` the number of observations assigned to each centre.
+Signatures are the objects that get embedded in the metric space via the
+Earth Mover's Distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_matrix, check_weights
+from ..exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A weighted set of representative vectors.
+
+    Attributes
+    ----------
+    positions:
+        Array of shape ``(K, d)`` holding the representative vectors
+        (cluster centres or bin centres).
+    weights:
+        Array of shape ``(K,)`` with strictly positive masses, typically the
+        number of observations assigned to each representative.
+    label:
+        Optional identifier (e.g. the time index of the bag the signature
+        was built from); carried through for bookkeeping only.
+    """
+
+    positions: np.ndarray
+    weights: np.ndarray
+    label: Optional[object] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        positions = check_matrix(self.positions, "positions")
+        weights = check_weights(self.weights, "weights")
+        if positions.shape[0] != weights.shape[0]:
+            raise ValidationError(
+                f"positions ({positions.shape[0]}) and weights ({weights.shape[0]}) "
+                "must have the same length"
+            )
+        if np.any(weights == 0):
+            keep = weights > 0
+            positions = positions[keep]
+            weights = weights[keep]
+        positions = positions.copy()
+        weights = weights.copy()
+        positions.setflags(write=False)
+        weights.setflags(write=False)
+        object.__setattr__(self, "positions", positions)
+        object.__setattr__(self, "weights", weights)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of representatives ``K`` in the signature."""
+        return int(self.positions.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality ``d`` of the representative vectors."""
+        return int(self.positions.shape[1])
+
+    @property
+    def total_weight(self) -> float:
+        """Total mass of the signature (the bag size when weights are counts)."""
+        return float(self.weights.sum())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, float]]:
+        for k in range(self.size):
+            yield self.positions[k], float(self.weights[k])
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def normalized(self) -> "Signature":
+        """Return a copy whose weights sum to one."""
+        return Signature(
+            positions=np.array(self.positions),
+            weights=np.array(self.weights) / self.total_weight,
+            label=self.label,
+        )
+
+    def scaled(self, factor: float) -> "Signature":
+        """Return a copy with all weights multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise ValidationError("scale factor must be positive")
+        return Signature(
+            positions=np.array(self.positions),
+            weights=np.array(self.weights) * float(factor),
+            label=self.label,
+        )
+
+    def mean(self) -> np.ndarray:
+        """Weighted mean of the representatives (the signature's centroid)."""
+        w = np.array(self.weights) / self.total_weight
+        return np.asarray(w @ self.positions)
+
+    def merged(self, other: "Signature") -> "Signature":
+        """Concatenate two signatures (summing masses, no deduplication)."""
+        if self.dimension != other.dimension:
+            raise ValidationError(
+                f"cannot merge signatures of dimension {self.dimension} and {other.dimension}"
+            )
+        return Signature(
+            positions=np.vstack([self.positions, other.positions]),
+            weights=np.concatenate([self.weights, other.weights]),
+            label=self.label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_points(points: np.ndarray, label: Optional[object] = None) -> "Signature":
+        """Build a signature with one unit-mass representative per point.
+
+        Duplicate points are collapsed and their masses added, which keeps
+        the downstream transportation problems as small as possible.
+        """
+        points = check_matrix(points, "points")
+        unique, counts = np.unique(points, axis=0, return_counts=True)
+        return Signature(positions=unique, weights=counts.astype(float), label=label)
+
+    @staticmethod
+    def from_histogram(
+        counts: np.ndarray, bin_centers: np.ndarray, label: Optional[object] = None
+    ) -> "Signature":
+        """Build a signature from histogram counts over given bin centres."""
+        counts = np.asarray(counts, dtype=float).ravel()
+        centers = check_matrix(bin_centers, "bin_centers")
+        if counts.shape[0] != centers.shape[0]:
+            raise ValidationError("counts and bin_centers must have the same length")
+        keep = counts > 0
+        if not np.any(keep):
+            raise ValidationError("histogram has no mass")
+        return Signature(positions=centers[keep], weights=counts[keep], label=label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Signature(size={self.size}, dimension={self.dimension}, "
+            f"total_weight={self.total_weight:.3g}, label={self.label!r})"
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig
+from repro.signatures import Signature
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_signature():
+    """A tiny 2-D signature with three representatives."""
+    return Signature(
+        positions=np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]]),
+        weights=np.array([2.0, 1.0, 3.0]),
+        label="small",
+    )
+
+
+@pytest.fixture
+def shifted_signature():
+    """The same shape as ``small_signature`` but translated by (5, 5)."""
+    return Signature(
+        positions=np.array([[5.0, 5.0], [6.0, 5.0], [5.0, 7.0]]),
+        weights=np.array([2.0, 1.0, 3.0]),
+        label="shifted",
+    )
+
+
+@pytest.fixture
+def fast_config():
+    """Detector configuration tuned for test speed (small bootstrap, exact signatures)."""
+    return DetectorConfig(
+        tau=4,
+        tau_test=4,
+        signature_method="exact",
+        n_bootstrap=50,
+        random_state=0,
+    )
+
+
+@pytest.fixture
+def step_change_bags(rng):
+    """16 small 2-D bags with a clear mean shift after the 8th bag."""
+    bags = [rng.normal(0.0, 1.0, size=(30, 2)) for _ in range(8)]
+    bags += [rng.normal(5.0, 1.0, size=(30, 2)) for _ in range(8)]
+    return bags
+
+
+@pytest.fixture
+def stationary_bags(rng):
+    """16 small 2-D bags drawn from one fixed distribution (no change)."""
+    return [rng.normal(0.0, 1.0, size=(30, 2)) for _ in range(16)]

@@ -1,0 +1,305 @@
+"""Tests for the baseline change-point detectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ChangeFinder,
+    CusumDetector,
+    KernelChangeDetection,
+    OneClassSVM,
+    RelativeDensityRatioDetector,
+    SDAR,
+    SingularSpectrumTransformation,
+    hankel_matrix,
+    mean_sequence,
+    median_heuristic_gamma,
+    moving_average,
+    project_to_capped_simplex,
+    rbf_kernel,
+    relative_pearson_divergence,
+    score_on_means,
+    subspace_dissimilarity,
+)
+from repro.core import BagSequence
+from repro.exceptions import ValidationError
+
+
+def mean_shift_series(rng, n=100, shift=6.0):
+    return np.concatenate(
+        [rng.normal(0.0, 1.0, n), rng.normal(shift, 1.0, n)]
+    ).reshape(-1, 1)
+
+
+class TestSDAR:
+    def test_loss_spikes_at_mean_shift(self, rng):
+        series = mean_shift_series(rng)
+        losses = SDAR(order=2, discount=0.05, dim=1).score_sequence(series)
+        change = 100
+        assert losses[change] > np.median(losses[50:95]) + 2.0
+
+    def test_losses_finite(self, rng):
+        losses = SDAR(order=2, discount=0.1, dim=1).score_sequence(rng.normal(size=(80, 1)))
+        assert np.all(np.isfinite(losses))
+
+    def test_multivariate_input(self, rng):
+        series = rng.normal(size=(60, 2))
+        losses = SDAR(order=1, discount=0.05, dim=2).score_sequence(series)
+        assert losses.shape == (60,)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            SDAR(dim=2).score_sequence(rng.normal(size=(10, 3)))
+
+    def test_invalid_discount(self):
+        with pytest.raises(ValidationError):
+            SDAR(discount=1.0)
+        with pytest.raises(ValidationError):
+            SDAR(discount=0.0)
+
+    def test_adapts_after_change(self, rng):
+        # Once the model has adapted to the new level the loss should drop
+        # again (well after the shift).
+        series = mean_shift_series(rng)
+        losses = SDAR(order=2, discount=0.1, dim=1).score_sequence(series)
+        assert losses[150:190].mean() < losses[100] / 2.0
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 5.0, 3.0])
+        assert np.allclose(moving_average(values, 1), values)
+
+    def test_trailing_average(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        out = moving_average(values, 2)
+        assert np.allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_warmup_prefix_uses_shorter_window(self):
+        values = np.arange(5, dtype=float)
+        out = moving_average(values, 10)
+        assert out[0] == pytest.approx(0.0)
+        assert out[-1] == pytest.approx(values.mean())
+
+
+class TestChangeFinder:
+    def test_score_elevated_after_change(self, rng):
+        series = mean_shift_series(rng)
+        scores = ChangeFinder(dim=1, discount=0.03).score(series)
+        assert scores[100:112].mean() > scores[60:95].mean()
+
+    def test_detect_flags_near_change(self, rng):
+        series = mean_shift_series(rng)
+        alarms = ChangeFinder(dim=1, discount=0.03).detect(series)
+        assert any(98 <= a <= 115 for a in alarms)
+
+    def test_scores_length_matches_series(self, rng):
+        series = rng.normal(size=(50, 1))
+        assert ChangeFinder(dim=1).score(series).shape == (50,)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            ChangeFinder(dim=2).score(rng.normal(size=(30, 1)))
+
+    def test_two_dimensional_series(self, rng):
+        series = np.vstack(
+            [rng.normal(0, 1, size=(60, 2)), rng.normal(5, 1, size=(60, 2))]
+        )
+        scores = ChangeFinder(dim=2, discount=0.05).score(series)
+        assert scores[60:70].mean() > scores[35:55].mean()
+
+
+class TestOneClassSVM:
+    def test_projection_satisfies_constraints(self, rng):
+        values = rng.normal(size=20)
+        projected = project_to_capped_simplex(values, cap=0.2)
+        assert projected.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(projected >= -1e-12)
+        assert np.all(projected <= 0.2 + 1e-9)
+
+    def test_projection_infeasible_cap_rejected(self):
+        with pytest.raises(ValidationError):
+            project_to_capped_simplex(np.zeros(3), cap=0.1)
+
+    def test_rbf_kernel_diagonal_ones(self, rng):
+        data = rng.normal(size=(10, 2))
+        kernel = rbf_kernel(data, data, gamma=0.5)
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_median_heuristic_positive(self, rng):
+        assert median_heuristic_gamma(rng.normal(size=(30, 3))) > 0
+
+    def test_alpha_respects_dual_constraints(self, rng):
+        data = rng.normal(size=(30, 2))
+        svm = OneClassSVM(nu=0.2).fit(data)
+        assert svm.alpha_.sum() == pytest.approx(1.0, abs=1e-5)
+        cap = 1.0 / (0.2 * 30)
+        assert np.all(svm.alpha_ <= cap + 1e-6)
+
+    def test_inliers_score_higher_than_far_outliers(self, rng):
+        data = rng.normal(size=(40, 2))
+        svm = OneClassSVM(nu=0.1).fit(data)
+        inlier_scores = svm.decision_function(rng.normal(size=(20, 2)))
+        outlier_scores = svm.decision_function(rng.normal(10.0, 1.0, size=(20, 2)))
+        assert inlier_scores.mean() > outlier_scores.mean()
+
+    def test_predict_labels(self, rng):
+        data = rng.normal(size=(40, 2))
+        svm = OneClassSVM(nu=0.1).fit(data)
+        labels = svm.predict(np.vstack([data[:5], rng.normal(20.0, 0.1, size=(5, 2))]))
+        assert set(labels) <= {-1, 1}
+        assert labels[5:].tolist() == [-1] * 5
+
+    def test_not_fitted_error(self, rng):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            OneClassSVM().decision_function(rng.normal(size=(3, 2)))
+
+    def test_invalid_nu(self):
+        with pytest.raises(ValidationError):
+            OneClassSVM(nu=0.0)
+
+
+class TestKernelChangeDetection:
+    def test_dissimilarity_larger_across_change(self, rng):
+        same_a = rng.normal(size=(25, 2))
+        same_b = rng.normal(size=(25, 2))
+        different = rng.normal(6.0, 1.0, size=(25, 2))
+        kcd = KernelChangeDetection(window=25)
+        assert kcd.dissimilarity(same_a, different) > kcd.dissimilarity(same_a, same_b)
+
+    def test_score_peaks_near_change(self, rng):
+        series = mean_shift_series(rng, n=40, shift=8.0)
+        scores = KernelChangeDetection(window=15).score(series)
+        assert abs(int(np.argmax(scores)) - 40) <= 6
+
+    def test_dissimilarity_bounded(self, rng):
+        a, b = rng.normal(size=(20, 2)), rng.normal(5, 1, size=(20, 2))
+        value = KernelChangeDetection(window=20).dissimilarity(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_detect_returns_indices(self, rng):
+        series = mean_shift_series(rng, n=40, shift=8.0)
+        alarms = KernelChangeDetection(window=15).detect(series)
+        assert all(isinstance(int(a), int) for a in alarms)
+
+
+class TestSST:
+    def test_hankel_matrix_shape(self):
+        values = np.arange(10, dtype=float)
+        assert hankel_matrix(values, window=4, n_columns=5).shape == (4, 5)
+
+    def test_hankel_requires_enough_points(self):
+        with pytest.raises(ValidationError):
+            hankel_matrix(np.arange(5, dtype=float), window=4, n_columns=5)
+
+    def test_subspace_dissimilarity_zero_for_identical(self, rng):
+        matrix = rng.normal(size=(6, 6))
+        assert subspace_dissimilarity(matrix, matrix, rank=2) == pytest.approx(0.0, abs=1e-9)
+
+    def test_detects_frequency_change_in_smooth_signal(self, rng):
+        t = np.arange(400, dtype=float)
+        signal = np.concatenate(
+            [np.sin(2 * np.pi * t[:200] / 20.0), np.sin(2 * np.pi * t[200:] / 7.0)]
+        )
+        signal += rng.normal(0, 0.05, 400)
+        sst = SingularSpectrumTransformation(window=30, n_columns=30, rank=2)
+        scores = sst.score(signal)
+        assert abs(int(np.argmax(scores)) - 200) <= 40
+
+    def test_scores_length(self, rng):
+        values = rng.normal(size=100)
+        scores = SingularSpectrumTransformation(window=10, n_columns=10).score(values)
+        assert scores.shape == (100,)
+
+    def test_low_scores_on_stationary_smooth_signal(self, rng):
+        t = np.arange(300, dtype=float)
+        signal = np.sin(2 * np.pi * t / 25.0) + rng.normal(0, 0.02, 300)
+        sst = SingularSpectrumTransformation(window=25, n_columns=25, rank=2)
+        scores = sst.score(signal)
+        assert np.median(scores[scores > 0]) < 0.1
+
+
+class TestDensityRatio:
+    def test_divergence_larger_across_change(self, rng):
+        reference = rng.normal(size=(60, 2))
+        same = rng.normal(size=(60, 2))
+        different = rng.normal(5.0, 1.0, size=(60, 2))
+        d_same = relative_pearson_divergence(reference, same, rng=rng)
+        d_diff = relative_pearson_divergence(reference, different, rng=rng)
+        assert d_diff > d_same
+
+    def test_divergence_nonnegative(self, rng):
+        a, b = rng.normal(size=(40, 1)), rng.normal(size=(40, 1))
+        assert relative_pearson_divergence(a, b, rng=rng) >= 0.0
+
+    def test_invalid_alpha_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            relative_pearson_divergence(
+                rng.normal(size=(10, 1)), rng.normal(size=(10, 1)), alpha=1.0
+            )
+
+    def test_score_peaks_near_change(self, rng):
+        series = mean_shift_series(rng, n=40, shift=6.0)
+        scores = RelativeDensityRatioDetector(window=20, n_basis=20).score(series)
+        assert abs(int(np.argmax(scores)) - 40) <= 8
+
+
+class TestCusum:
+    def test_alarm_shortly_after_mean_shift(self, rng):
+        values = np.concatenate([rng.normal(0, 1, 100), rng.normal(3, 1, 100)])
+        _, alarms = CusumDetector(threshold=5.0, calibration=50).score(values)
+        post_change = alarms[alarms >= 100]
+        assert post_change.size > 0
+        assert post_change[0] < 115
+
+    def test_no_alarm_on_stationary_series(self, rng):
+        values = rng.normal(0, 1, 300)
+        _, alarms = CusumDetector(threshold=8.0, calibration=50).score(values)
+        assert alarms.size == 0
+
+    def test_requires_enough_points(self, rng):
+        with pytest.raises(ValidationError):
+            CusumDetector(calibration=20).score(rng.normal(size=10))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            CusumDetector(threshold=0.0)
+        with pytest.raises(ValidationError):
+            CusumDetector(drift=-1.0)
+        with pytest.raises(ValidationError):
+            CusumDetector(calibration=1)
+
+
+class TestOnMeansAdapter:
+    def test_mean_sequence_shape(self, rng):
+        bags = [rng.normal(size=(n, 3)) for n in (5, 8, 6)]
+        assert mean_sequence(bags).shape == (3, 3)
+
+    def test_mean_sequence_from_bag_sequence(self, rng):
+        sequence = BagSequence([rng.normal(size=(5, 2)) for _ in range(4)])
+        assert mean_sequence(sequence).shape == (4, 2)
+
+    def test_score_on_means_runs_baseline(self, rng):
+        # Use a long pre-change segment so both SDAR stages are past their
+        # warm-up transient before the change arrives.
+        bags = [rng.normal(0, 1, size=(30, 1)) for _ in range(80)]
+        bags += [rng.normal(5, 1, size=(30, 1)) for _ in range(40)]
+        scores = score_on_means(ChangeFinder(dim=1, discount=0.05), bags)
+        assert scores.shape == (120,)
+        assert scores[80:95].mean() > scores[50:78].mean()
+
+    def test_mixture_change_invisible_to_means(self, rng):
+        # The paper's Fig. 1 argument: a symmetric mixture change leaves the
+        # bag means nearly unchanged, so their variance stays tiny compared
+        # with the actual component separation.
+        bags = [rng.normal(0, 1, size=(300, 1)) for _ in range(50)]
+        bags += [
+            np.concatenate(
+                [rng.normal(-4, 1, size=(150, 1)), rng.normal(4, 1, size=(150, 1))]
+            )
+            for _ in range(50)
+        ]
+        means = mean_sequence(bags).ravel()
+        assert abs(means[:50].mean() - means[50:].mean()) < 0.5

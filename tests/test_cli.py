@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def npz_stream(tmp_path, rng):
+    """An .npz file with a clear change after the 6th bag."""
+    bags = {f"bag_{i:03d}": rng.normal(0, 1, size=(25, 2)) for i in range(6)}
+    bags.update({f"bag_{i:03d}": rng.normal(5, 1, size=(25, 2)) for i in range(6, 12)})
+    path = tmp_path / "bags.npz"
+    np.savez(path, **bags)
+    return path
+
+
+@pytest.fixture
+def csv_stream(tmp_path, rng):
+    """A long-format CSV file with a mean shift half way through."""
+    path = tmp_path / "bags.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "x", "y"])
+        for t in range(12):
+            offset = 0.0 if t < 6 else 5.0
+            for _ in range(20):
+                x, y = rng.normal(offset, 1.0, size=2)
+                writer.writerow([t, x, y])
+    return path
+
+
+class TestParser:
+    def test_defaults(self, tmp_path):
+        args = build_parser().parse_args([str(tmp_path / "x.npz")])
+        assert args.tau == 5
+        assert args.score == "kl"
+
+    def test_custom_options(self, tmp_path):
+        args = build_parser().parse_args(
+            [str(tmp_path / "x.npz"), "--tau", "3", "--score", "lr", "--seed", "7"]
+        )
+        assert args.tau == 3
+        assert args.score == "lr"
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_npz_input_stdout(self, npz_stream, capsys):
+        exit_code = main(
+            [str(npz_stream), "--tau", "3", "--tau-test", "3", "--signature", "exact",
+             "--bootstrap", "40", "--seed", "0"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        lines = output.strip().splitlines()
+        assert lines[0] == "time,score,lower,upper,gamma,alert"
+        assert len(lines) > 1
+
+    def test_csv_input_with_output_file(self, csv_stream, tmp_path):
+        out_path = tmp_path / "result.csv"
+        exit_code = main(
+            [str(csv_stream), "--tau", "3", "--tau-test", "3", "--signature", "exact",
+             "--bootstrap", "40", "--seed", "0", "--output", str(out_path)]
+        )
+        assert exit_code == 0
+        content = out_path.read_text().strip().splitlines()
+        assert content[0].startswith("time,")
+        # An alert should be raised somewhere (there is a strong change).
+        assert any(line.endswith("True") for line in content[1:])
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path / "missing.npz")])
+
+    def test_unsupported_extension_errors(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("nope")
+        with pytest.raises(SystemExit):
+            main([str(path)])
+
+    def test_csv_missing_time_column_errors(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            main([str(path)])

@@ -1,0 +1,117 @@
+"""Tests for the Bag and BagSequence containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Bag, BagSequence
+from repro.exceptions import ValidationError
+
+
+class TestBag:
+    def test_basic_properties(self, rng):
+        bag = Bag(rng.normal(size=(20, 3)), index=7)
+        assert bag.size == 20
+        assert bag.dimension == 3
+        assert bag.index == 7
+        assert len(bag) == 20
+
+    def test_1d_input_promoted(self):
+        bag = Bag(np.array([1.0, 2.0, 3.0]))
+        assert bag.dimension == 1
+        assert bag.size == 3
+
+    def test_mean(self):
+        bag = Bag(np.array([[0.0, 0.0], [2.0, 4.0]]))
+        assert np.allclose(bag.mean(), [1.0, 2.0])
+
+    def test_data_immutable(self, rng):
+        bag = Bag(rng.normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            bag.data[0, 0] = 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Bag(np.empty((0, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            Bag(np.array([[np.nan, 1.0]]))
+
+
+class TestBagSequence:
+    def test_from_arrays(self, rng):
+        bags = [rng.normal(size=(10, 2)) for _ in range(4)]
+        sequence = BagSequence.from_arrays(bags)
+        assert len(sequence) == 4
+        assert sequence.dimension == 2
+        assert sequence.sizes.tolist() == [10, 10, 10, 10]
+
+    def test_default_indices(self, rng):
+        sequence = BagSequence([rng.normal(size=(5, 1)) for _ in range(3)])
+        assert sequence.indices == [0, 1, 2]
+
+    def test_custom_indices(self, rng):
+        sequence = BagSequence(
+            [rng.normal(size=(5, 1)) for _ in range(2)], indices=["a", "b"]
+        )
+        assert sequence.indices == ["a", "b"]
+
+    def test_varying_bag_sizes(self, rng):
+        sequence = BagSequence([rng.normal(size=(n, 2)) for n in (3, 7, 5)])
+        assert sequence.sizes.tolist() == [3, 7, 5]
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            BagSequence([rng.normal(size=(5, 2)), rng.normal(size=(5, 3))])
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValidationError):
+            BagSequence([])
+
+    def test_indexing_returns_bag(self, rng):
+        sequence = BagSequence([rng.normal(size=(5, 1)) for _ in range(3)])
+        assert isinstance(sequence[1], Bag)
+
+    def test_slicing_returns_sequence(self, rng):
+        sequence = BagSequence([rng.normal(size=(5, 1)) for _ in range(5)])
+        sliced = sequence[1:4]
+        assert isinstance(sliced, BagSequence)
+        assert len(sliced) == 3
+
+    def test_window(self, rng):
+        sequence = BagSequence([rng.normal(size=(5, 1)) for _ in range(6)])
+        window = sequence.window(2, 3)
+        assert len(window) == 3
+
+    def test_window_out_of_bounds_rejected(self, rng):
+        sequence = BagSequence([rng.normal(size=(5, 1)) for _ in range(4)])
+        with pytest.raises(ValidationError):
+            sequence.window(3, 5)
+
+    def test_mean_sequence_shape(self, rng):
+        sequence = BagSequence([rng.normal(size=(8, 3)) for _ in range(4)])
+        assert sequence.mean_sequence().shape == (4, 3)
+
+    def test_stack_concatenates_all(self, rng):
+        sequence = BagSequence([rng.normal(size=(n, 2)) for n in (3, 4)])
+        assert sequence.stack().shape == (7, 2)
+
+    def test_from_long_format_groups_by_time(self):
+        times = np.array([0, 0, 1, 2, 2, 2])
+        values = np.arange(6, dtype=float).reshape(-1, 1)
+        sequence = BagSequence.from_long_format(times, values)
+        assert len(sequence) == 3
+        assert sequence.sizes.tolist() == [2, 1, 3]
+
+    def test_from_long_format_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            BagSequence.from_long_format(np.array([0, 1]), np.zeros((3, 1)))
+
+    def test_accepts_bag_instances(self, rng):
+        bags = [Bag(rng.normal(size=(4, 2)), index=i * 10) for i in range(3)]
+        sequence = BagSequence(bags)
+        assert sequence.indices == [0, 10, 20]
+
+    def test_iteration(self, rng):
+        sequence = BagSequence([rng.normal(size=(4, 2)) for _ in range(3)])
+        assert sum(1 for _ in sequence) == 3

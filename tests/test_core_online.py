@@ -1,0 +1,73 @@
+"""Tests for the streaming detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import BagChangePointDetector, DetectorConfig, OnlineBagDetector
+
+
+class TestOnlineBagDetector:
+    def test_no_output_until_window_full(self, rng, fast_config):
+        detector = OnlineBagDetector(fast_config)
+        outputs = [detector.push(rng.normal(size=(20, 2))) for _ in range(fast_config.window_span - 1)]
+        assert all(o is None for o in outputs)
+
+    def test_emits_one_point_per_push_after_warmup(self, rng, fast_config):
+        detector = OnlineBagDetector(fast_config)
+        emitted = detector.push_many([rng.normal(size=(20, 2)) for _ in range(12)])
+        assert len(emitted) == 12 - fast_config.window_span + 1
+
+    def test_inspection_times_lag_by_tau_test(self, rng, fast_config):
+        detector = OnlineBagDetector(fast_config)
+        emitted = detector.push_many([rng.normal(size=(20, 2)) for _ in range(12)])
+        # After pushing bag s (0-based), the emitted inspection time is
+        # s - tau_test + 1.
+        assert emitted[0].time == fast_config.tau
+        assert emitted[-1].time == 12 - fast_config.tau_test
+
+    def test_detects_mean_shift(self, step_change_bags, fast_config):
+        detector = OnlineBagDetector(fast_config)
+        emitted = detector.push_many(step_change_bags)
+        alarm_times = [p.time for p in emitted if p.alert]
+        assert any(7 <= t <= 10 for t in alarm_times)
+
+    def test_history_property(self, rng, fast_config):
+        detector = OnlineBagDetector(fast_config)
+        detector.push_many([rng.normal(size=(20, 2)) for _ in range(10)])
+        history = detector.history
+        assert len(history) == 10 - fast_config.window_span + 1
+
+    def test_n_seen_counter(self, rng, fast_config):
+        detector = OnlineBagDetector(fast_config)
+        detector.push_many([rng.normal(size=(10, 2)) for _ in range(6)])
+        assert detector.n_seen == 6
+
+    def test_matches_offline_scores(self, rng):
+        # With identical seeds for signature construction ("exact" makes it
+        # deterministic) the point scores must coincide with the offline
+        # detector; the bootstrap intervals use different random draws and
+        # are not compared.
+        bags = [rng.normal(0, 1, size=(15, 2)) for _ in range(6)]
+        bags += [rng.normal(4, 1, size=(15, 2)) for _ in range(6)]
+        config = DetectorConfig(
+            tau=3, tau_test=3, signature_method="exact", n_bootstrap=20, random_state=0
+        )
+        offline = BagChangePointDetector(config).detect(bags)
+        online = OnlineBagDetector(config)
+        emitted = online.push_many(bags)
+        offline_scores = {p.time: p.score for p in offline.points}
+        for point in emitted:
+            assert point.score == pytest.approx(offline_scores[point.time], rel=1e-9)
+
+    def test_cache_is_pruned(self, rng, fast_config):
+        detector = OnlineBagDetector(fast_config)
+        detector.push_many([rng.normal(size=(10, 2)) for _ in range(30)])
+        # The distance cache should stay bounded by the window span.
+        max_pairs = fast_config.window_span * (fast_config.window_span + 1)
+        assert len(detector._distances) <= max_pairs
+
+    def test_kwargs_constructor(self, rng):
+        detector = OnlineBagDetector(tau=3, tau_test=3, n_bootstrap=20,
+                                     signature_method="exact", random_state=0)
+        emitted = detector.push_many([rng.normal(size=(10, 2)) for _ in range(7)])
+        assert len(emitted) == 2

@@ -1,0 +1,143 @@
+"""Tests for the change-point scores (Eq. 16 and Eq. 17) and window distances."""
+
+import numpy as np
+import pytest
+
+from repro.core import WindowDistances, compute_score, score_likelihood_ratio, score_symmetric_kl
+from repro.emd import cross_emd_matrix, emd_matrix
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.information import uniform_weights
+from repro.signatures import Signature
+
+
+def make_window(rng, ref_offset=0.0, test_offset=0.0, tau=4, tau_test=4):
+    """Window distances from synthetic Gaussian signatures with given offsets."""
+    ref = [
+        Signature(rng.normal(ref_offset, 1.0, size=(10, 2)), np.ones(10)) for _ in range(tau)
+    ]
+    test = [
+        Signature(rng.normal(test_offset, 1.0, size=(10, 2)), np.ones(10))
+        for _ in range(tau_test)
+    ]
+    return WindowDistances(
+        ref_pairwise=emd_matrix(ref),
+        test_pairwise=emd_matrix(test),
+        cross=cross_emd_matrix(ref, test),
+    )
+
+
+class TestWindowDistances:
+    def test_shapes_exposed(self, rng):
+        window = make_window(rng, tau=3, tau_test=5)
+        assert window.n_reference == 3
+        assert window.n_test == 5
+
+    def test_non_square_ref_rejected(self):
+        with pytest.raises(ValidationError):
+            WindowDistances(np.zeros((2, 3)), np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_cross_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            WindowDistances(np.zeros((2, 2)), np.zeros((3, 3)), np.zeros((3, 2)))
+
+
+class TestScoreSymmetricKL:
+    def test_larger_when_distributions_differ(self, rng):
+        same = make_window(rng, 0.0, 0.0)
+        different = make_window(rng, 0.0, 6.0)
+        w_ref, w_test = uniform_weights(4), uniform_weights(4)
+        assert score_symmetric_kl(different, w_ref, w_test) > score_symmetric_kl(
+            same, w_ref, w_test
+        )
+
+    def test_score_near_zero_for_identical_windows(self, rng):
+        window = make_window(rng, 0.0, 0.0)
+        value = score_symmetric_kl(window, uniform_weights(4), uniform_weights(4))
+        assert abs(value) < 1.0
+
+    def test_weight_length_mismatch_rejected(self, rng):
+        window = make_window(rng)
+        with pytest.raises(ValidationError):
+            score_symmetric_kl(window, uniform_weights(3), uniform_weights(4))
+
+    def test_matches_entropy_decomposition(self, rng):
+        from repro.information import auto_entropy, cross_entropy
+
+        window = make_window(rng, 0.0, 2.0)
+        w_ref, w_test = uniform_weights(4), uniform_weights(4)
+        expected = cross_entropy(window.cross, w_ref, w_test) - 0.5 * (
+            auto_entropy(window.ref_pairwise, w_ref)
+            + auto_entropy(window.test_pairwise, w_test)
+        )
+        assert score_symmetric_kl(window, w_ref, w_test) == pytest.approx(expected)
+
+    def test_monotone_in_shift_magnitude(self, rng):
+        w = uniform_weights(4)
+        shifts = [0.0, 2.0, 6.0]
+        scores = [
+            score_symmetric_kl(make_window(np.random.default_rng(0), 0.0, s), w, w)
+            for s in shifts
+        ]
+        assert scores[0] < scores[1] < scores[2]
+
+
+class TestScoreLikelihoodRatio:
+    def test_positive_when_test_differs_from_reference(self, rng):
+        window = make_window(rng, 0.0, 6.0)
+        value = score_likelihood_ratio(window, uniform_weights(4), uniform_weights(4))
+        assert value > 0.0
+
+    def test_near_zero_for_identical_windows(self, rng):
+        values = [
+            score_likelihood_ratio(
+                make_window(np.random.default_rng(seed), 0.0, 0.0),
+                uniform_weights(4),
+                uniform_weights(4),
+            )
+            for seed in range(5)
+        ]
+        assert abs(np.mean(values)) < 0.5
+
+    def test_inspection_index_out_of_range(self, rng):
+        window = make_window(rng)
+        with pytest.raises(ConfigurationError):
+            score_likelihood_ratio(
+                window, uniform_weights(4), uniform_weights(4), inspection_index=10
+            )
+
+    def test_lr_more_sensitive_than_kl_to_single_bag(self, rng):
+        # Construct a test window where only the inspection bag differs: the
+        # LR score (which focuses on S_t) should react at least as strongly
+        # relative to its no-change value than the KL score does.
+        ref = [Signature(rng.normal(0, 1, size=(10, 2)), np.ones(10)) for _ in range(4)]
+        test = [Signature(rng.normal(8, 1, size=(10, 2)), np.ones(10))]
+        test += [Signature(rng.normal(0, 1, size=(10, 2)), np.ones(10)) for _ in range(3)]
+        window = WindowDistances(
+            ref_pairwise=emd_matrix(ref),
+            test_pairwise=emd_matrix(test),
+            cross=cross_emd_matrix(ref, test),
+        )
+        w = uniform_weights(4)
+        assert score_likelihood_ratio(window, w, w) > 0.0
+
+
+class TestComputeScore:
+    def test_dispatch_kl(self, rng):
+        window = make_window(rng)
+        w = uniform_weights(4)
+        assert compute_score("kl", window, w, w) == pytest.approx(
+            score_symmetric_kl(window, w, w)
+        )
+
+    def test_dispatch_lr(self, rng):
+        window = make_window(rng)
+        w = uniform_weights(4)
+        assert compute_score("lr", window, w, w) == pytest.approx(
+            score_likelihood_ratio(window, w, w)
+        )
+
+    def test_unknown_kind_rejected(self, rng):
+        window = make_window(rng)
+        w = uniform_weights(4)
+        with pytest.raises(ConfigurationError):
+            compute_score("wasserstein", window, w, w)

@@ -1,0 +1,96 @@
+"""Tests for the adaptive thresholding (gamma statistic, Eq. 18-20)."""
+
+import numpy as np
+import pytest
+
+from repro.bootstrap import ConfidenceInterval
+from repro.core import AdaptiveThreshold, apply_threshold, gamma_statistic, is_significant
+
+
+def ci(lower, upper):
+    return ConfidenceInterval(lower=lower, upper=upper, level=0.95)
+
+
+class TestGammaStatistic:
+    def test_positive_when_intervals_disjoint(self):
+        assert gamma_statistic(ci(2.0, 3.0), ci(0.0, 1.0)) == pytest.approx(1.0)
+
+    def test_negative_when_intervals_overlap(self):
+        assert gamma_statistic(ci(0.5, 3.0), ci(0.0, 1.0)) == pytest.approx(-0.5)
+
+    def test_nan_when_no_earlier_interval(self):
+        assert np.isnan(gamma_statistic(ci(0.0, 1.0), None))
+
+    def test_is_significant_rules(self):
+        assert is_significant(0.5)
+        assert not is_significant(-0.5)
+        assert not is_significant(0.0)
+        assert not is_significant(float("nan"))
+
+
+class TestAdaptiveThreshold:
+    def test_no_alert_before_lag_filled(self):
+        threshold = AdaptiveThreshold(lag=3)
+        gamma, alert = threshold.update(5, ci(10.0, 11.0))
+        assert np.isnan(gamma)
+        assert not alert
+
+    def test_alert_when_interval_jumps(self):
+        threshold = AdaptiveThreshold(lag=2)
+        threshold.update(1, ci(0.0, 1.0))
+        threshold.update(2, ci(0.0, 1.0))
+        gamma, alert = threshold.update(3, ci(5.0, 6.0))
+        assert gamma == pytest.approx(4.0)
+        assert alert
+
+    def test_no_alert_when_overlapping(self):
+        threshold = AdaptiveThreshold(lag=1)
+        threshold.update(1, ci(0.0, 2.0))
+        gamma, alert = threshold.update(2, ci(1.5, 3.0))
+        assert not alert
+
+    def test_comparison_is_exactly_lag_steps_back(self):
+        threshold = AdaptiveThreshold(lag=2)
+        threshold.update(1, ci(0.0, 1.0))    # will be compared against by t=3
+        threshold.update(2, ci(10.0, 11.0))  # must NOT be used at t=3
+        gamma, alert = threshold.update(3, ci(5.0, 6.0))
+        assert gamma == pytest.approx(5.0 - 1.0)
+        assert alert
+
+    def test_interval_at_lookup(self):
+        threshold = AdaptiveThreshold(lag=1)
+        interval = ci(0.0, 1.0)
+        threshold.update(4, interval)
+        assert threshold.interval_at(4) is interval
+        assert threshold.interval_at(3) is None
+
+    def test_len_counts_registered(self):
+        threshold = AdaptiveThreshold(lag=1)
+        threshold.update(1, ci(0, 1))
+        threshold.update(2, ci(0, 1))
+        assert len(threshold) == 2
+
+
+class TestApplyThreshold:
+    def test_paper_figure5_scenario(self):
+        # Fig. 5: a high score at t=7 whose interval overlaps the one at
+        # t=4 (no alert), and a high score at t=16 whose interval does not
+        # overlap the one at t=13 (alert), with lag tau' = 3.
+        times = list(range(1, 17))
+        intervals = [ci(0.0, 1.0) for _ in times]
+        intervals[6] = ci(0.8, 2.5)    # t = 7 overlaps [0, 1] -> no alert
+        intervals[15] = ci(1.5, 3.0)   # t = 16 does not overlap -> alert
+        gammas, alerts = apply_threshold(times, intervals, lag=3)
+        assert not alerts[6]
+        assert alerts[15]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            apply_threshold([1, 2], [ci(0, 1)], lag=1)
+
+    def test_all_nan_prefix(self):
+        times = [10, 11, 12]
+        intervals = [ci(0, 1)] * 3
+        gammas, alerts = apply_threshold(times, intervals, lag=5)
+        assert np.all(np.isnan(gammas))
+        assert not alerts.any()

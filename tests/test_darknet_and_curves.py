@@ -1,0 +1,133 @@
+"""Tests for the darknet traffic simulator and the threshold-sweep curves."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import AttackCampaign, DarknetTrafficSimulator, PACKET_FEATURES
+from repro.evaluation import best_f1_point, precision_recall_curve, threshold_sweep
+from repro.exceptions import ConfigurationError, ValidationError
+
+
+class TestAttackCampaign:
+    def test_valid_kinds(self):
+        for kind in ("port_scan", "worm", "backscatter"):
+            AttackCampaign(start=0, duration=2, kind=kind)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AttackCampaign(start=0, duration=2, kind="ddos")
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AttackCampaign(start=0, duration=0, kind="worm")
+
+
+class TestDarknetTrafficSimulator:
+    def test_stream_length_and_feature_count(self):
+        dataset = DarknetTrafficSimulator(40, base_rate=50, campaigns=(), random_state=0).generate()
+        assert len(dataset) == 40
+        assert dataset.bags[0].shape[1] == len(PACKET_FEATURES)
+
+    def test_change_points_include_onset_and_end(self):
+        campaigns = (AttackCampaign(start=10, duration=5, kind="worm"),)
+        dataset = DarknetTrafficSimulator(
+            30, base_rate=50, campaigns=campaigns, random_state=0
+        ).generate()
+        assert dataset.change_points == [10, 15]
+
+    def test_attack_windows_have_more_packets(self):
+        campaigns = (AttackCampaign(start=10, duration=5, kind="port_scan", intensity=4.0),)
+        dataset = DarknetTrafficSimulator(
+            20, base_rate=100, campaigns=campaigns, random_state=0
+        ).generate()
+        during = np.mean([len(dataset.bags[t]) for t in range(10, 15)])
+        before = np.mean([len(dataset.bags[t]) for t in range(0, 10)])
+        assert during > 2.0 * before
+
+    def test_worm_concentrates_port_distribution(self):
+        campaigns = (AttackCampaign(start=5, duration=5, kind="worm", intensity=5.0),)
+        dataset = DarknetTrafficSimulator(
+            12, base_rate=100, campaigns=campaigns, random_state=0
+        ).generate()
+        port_std_attack = np.mean([dataset.bags[t][:, 0].std() for t in range(5, 10)])
+        port_std_normal = np.mean([dataset.bags[t][:, 0].std() for t in range(0, 5)])
+        assert port_std_attack < port_std_normal
+
+    def test_campaign_beyond_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DarknetTrafficSimulator(
+                10, campaigns=(AttackCampaign(start=8, duration=5, kind="worm"),)
+            )
+
+    def test_detector_flags_campaign_onset(self):
+        campaigns = (AttackCampaign(start=14, duration=8, kind="worm", intensity=4.0),)
+        dataset = DarknetTrafficSimulator(
+            30, base_rate=120, campaigns=campaigns, random_state=1
+        ).generate()
+        from repro import BagChangePointDetector
+
+        detector = BagChangePointDetector(
+            tau=5, tau_test=5, signature_method="kmeans", n_clusters=6,
+            n_bootstrap=60, random_state=0,
+        )
+        result = detector.detect(dataset.bags)
+        assert any(13 <= t <= 18 for t in result.alarm_times)
+
+
+class TestThresholdSweep:
+    def _scores(self):
+        times = np.arange(30)
+        scores = np.zeros(30)
+        scores[10:13] = 5.0
+        scores[20:22] = 4.0
+        return scores, times, [10, 20]
+
+    def test_low_threshold_high_recall(self):
+        scores, times, cps = self._scores()
+        points = threshold_sweep(scores, times, cps, tolerance=2, n_thresholds=10)
+        assert points[0].recall == 1.0
+
+    def test_high_threshold_no_alarms(self):
+        scores, times, cps = self._scores()
+        points = threshold_sweep(scores, times, cps, tolerance=2, n_thresholds=10)
+        assert points[-1].alarms == 0
+
+    def test_precision_recall_curve_shapes(self):
+        scores, times, cps = self._scores()
+        thresholds, precision, recall = precision_recall_curve(
+            scores, times, cps, tolerance=2, n_thresholds=15
+        )
+        assert thresholds.shape == precision.shape == recall.shape == (15,)
+        assert np.all((0 <= precision) & (precision <= 1))
+        assert np.all((0 <= recall) & (recall <= 1))
+
+    def test_best_f1_point_is_perfect_for_single_spike_scores(self):
+        # One spike per change point: some threshold isolates exactly those
+        # two alarms, giving perfect precision and recall.
+        times = np.arange(30)
+        scores = np.zeros(30)
+        scores[10] = 5.0
+        scores[20] = 4.0
+        best = best_f1_point(scores, times, [10, 20], tolerance=2, n_thresholds=30)
+        assert best.precision == 1.0
+        assert best.recall == 1.0
+
+    def test_best_f1_point_trades_off_consecutive_alarms(self):
+        # Runs of consecutive alarms around each change cost precision under
+        # the one-to-one matching; best F1 still favours full recall here.
+        scores, times, cps = self._scores()
+        best = best_f1_point(scores, times, cps, tolerance=2, n_thresholds=30)
+        assert best.recall == 1.0
+        assert 0.3 <= best.precision < 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            threshold_sweep(np.ones(3), np.arange(4), [1])
+
+    def test_invalid_threshold_count_rejected(self):
+        with pytest.raises(ValidationError):
+            threshold_sweep(np.ones(3), np.arange(3), [1], n_thresholds=1)
+
+    def test_constant_scores_handled(self):
+        points = threshold_sweep(np.ones(10), np.arange(10), [5], n_thresholds=5)
+        assert len(points) == 5

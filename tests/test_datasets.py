@@ -1,0 +1,275 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ACTIVITIES,
+    BLOCK_LENGTH,
+    DEFAULT_EVENTS,
+    DEFAULT_PROTOCOL,
+    EnronLikeStream,
+    OrganizationalEvent,
+    PamapSimulator,
+    make_all_confidence_interval_datasets,
+    make_bipartite_stream,
+    make_confidence_interval_dataset,
+    make_mixture_stream,
+)
+from repro.datasets.pamap import ACTIVITY_PROFILES, N_CHANNELS
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.graphs import source_out_weights
+
+
+class TestMixtureStream:
+    def test_default_structure_matches_fig1(self):
+        dataset = make_mixture_stream(random_state=0)
+        assert len(dataset) == 150
+        assert dataset.change_points == [50, 100]
+
+    def test_bag_sizes_near_nominal(self):
+        dataset = make_mixture_stream(random_state=0, bag_size=300, bag_size_jitter=30)
+        assert 250 < dataset.sizes.mean() < 350
+
+    def test_bags_are_one_dimensional(self):
+        dataset = make_mixture_stream(random_state=0, steps_per_regime=5, bag_size=50)
+        assert dataset.bags[0].shape[1] == 1
+
+    def test_regime_variance_increases(self):
+        # The 2- and 3-component mixtures are much more spread out than the
+        # single Gaussian even though the means stay near zero.
+        dataset = make_mixture_stream(random_state=0, steps_per_regime=10, bag_size=200)
+        var_first = np.mean([bag.var() for bag in dataset.bags[:10]])
+        var_last = np.mean([bag.var() for bag in dataset.bags[-10:]])
+        assert var_last > 3.0 * var_first
+
+    def test_sample_means_stay_close_across_regimes(self):
+        dataset = make_mixture_stream(random_state=1, steps_per_regime=10, bag_size=300)
+        means = np.array([bag.mean() for bag in dataset.bags])
+        assert abs(means[:10].mean() - means[20:].mean()) < 1.0
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValidationError):
+            make_mixture_stream(bag_size=50, bag_size_jitter=50)
+
+    def test_reproducibility(self):
+        d1 = make_mixture_stream(
+            random_state=3, steps_per_regime=4, bag_size=20, bag_size_jitter=5
+        )
+        d2 = make_mixture_stream(
+            random_state=3, steps_per_regime=4, bag_size=20, bag_size_jitter=5
+        )
+        assert np.allclose(d1.bags[0], d2.bags[0])
+
+
+class TestConfidenceIntervalDatasets:
+    def test_twenty_bags_by_default(self):
+        dataset = make_confidence_interval_dataset(1, random_state=0)
+        assert len(dataset) == 20
+
+    def test_bags_are_two_dimensional(self):
+        dataset = make_confidence_interval_dataset(2, random_state=0)
+        assert all(bag.shape[1] == 2 for bag in dataset.bags)
+
+    def test_poisson_bag_sizes(self):
+        dataset = make_confidence_interval_dataset(1, random_state=0, n_bags=50)
+        assert 35 < dataset.sizes.mean() < 65
+
+    @pytest.mark.parametrize("dataset_id", [1, 2, 3])
+    def test_no_change_points_for_stationary_datasets(self, dataset_id):
+        dataset = make_confidence_interval_dataset(dataset_id, random_state=0)
+        assert dataset.change_points == []
+
+    @pytest.mark.parametrize("dataset_id", [4, 5])
+    def test_change_at_index_10_for_shift_datasets(self, dataset_id):
+        dataset = make_confidence_interval_dataset(dataset_id, random_state=0)
+        assert dataset.change_points == [10]
+
+    def test_dataset4_mean_jump_visible(self):
+        dataset = make_confidence_interval_dataset(4, random_state=0)
+        first_means = np.array([bag.mean(axis=0) for bag in dataset.bags[:10]])
+        second_means = np.array([bag.mean(axis=0) for bag in dataset.bags[10:]])
+        assert first_means[:, 0].mean() > 2.0
+        assert second_means[:, 0].mean() < -2.0
+
+    def test_dataset1_larger_variance_than_dataset4(self):
+        d1 = make_confidence_interval_dataset(1, random_state=0)
+        d4 = make_confidence_interval_dataset(4, random_state=0)
+        assert np.mean([b.var() for b in d1.bags]) > np.mean([b.var() for b in d4.bags])
+
+    def test_dataset5_radius_grows(self):
+        dataset = make_confidence_interval_dataset(5, random_state=0)
+        radius_first = np.mean([np.linalg.norm(bag.mean(axis=0)) for bag in dataset.bags[:10]])
+        radius_second = np.mean([np.linalg.norm(bag.mean(axis=0)) for bag in dataset.bags[10:]])
+        assert radius_second > radius_first
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_confidence_interval_dataset(6)
+
+    def test_make_all_returns_five(self):
+        datasets = make_all_confidence_interval_datasets(random_state=0)
+        assert sorted(datasets) == [1, 2, 3, 4, 5]
+
+    def test_to_sequence_conversion(self):
+        dataset = make_confidence_interval_dataset(1, random_state=0)
+        assert len(dataset.to_sequence()) == len(dataset)
+
+
+class TestPamapSimulator:
+    def test_table1_has_twelve_activities(self):
+        assert len(ACTIVITIES) == 12
+        assert ACTIVITIES[8] == "walking"
+        assert set(ACTIVITY_PROFILES) == set(ACTIVITIES)
+
+    def test_bag_channel_count(self):
+        simulator = PamapSimulator(random_state=0, sampling_rate=20)
+        bag = simulator.sample_bag(8)
+        assert bag.shape[1] == N_CHANNELS
+
+    def test_bag_sizes_vary(self):
+        simulator = PamapSimulator(random_state=0, sampling_rate=50)
+        sizes = {simulator.sample_bag(1).shape[0] for _ in range(10)}
+        assert len(sizes) > 1
+
+    def test_unknown_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PamapSimulator(random_state=0).sample_bag(99)
+
+    def test_heart_rate_tracks_intensity(self):
+        simulator = PamapSimulator(random_state=0, sampling_rate=20)
+        lying = simulator.sample_bag(1)[:, 9].mean()
+        running = simulator.sample_bag(11)[:, 9].mean()
+        assert running > lying + 50.0
+
+    def test_accelerometer_variance_tracks_intensity(self):
+        simulator = PamapSimulator(random_state=0, sampling_rate=20)
+        lying = simulator.sample_bag(1)[:, :9].var()
+        rope_jumping = simulator.sample_bag(12)[:, :9].var()
+        assert rope_jumping > lying
+
+    def test_subject_change_points_at_activity_boundaries(self):
+        simulator = PamapSimulator(random_state=0, sampling_rate=10)
+        dataset = simulator.simulate_subject(
+            protocol=(1, 8, 11), bags_per_activity=[5, 6, 4]
+        )
+        assert len(dataset) == 15
+        assert dataset.change_points == [5, 11]
+
+    def test_activity_per_bag_metadata(self):
+        simulator = PamapSimulator(random_state=0, sampling_rate=10)
+        dataset = simulator.simulate_subject(protocol=(1, 2), bags_per_activity=[3, 3])
+        assert dataset.metadata["activity_per_bag"] == [1, 1, 1, 2, 2, 2]
+
+    def test_protocol_length_mismatch_rejected(self):
+        simulator = PamapSimulator(random_state=0)
+        with pytest.raises(ConfigurationError):
+            simulator.simulate_subject(protocol=(1, 2), bags_per_activity=[3])
+
+    def test_multiple_subjects(self):
+        simulator = PamapSimulator(random_state=0, sampling_rate=10)
+        subjects = simulator.simulate_subjects(2, protocol=(1, 8), bags_per_activity=3)
+        assert len(subjects) == 2
+
+    def test_default_protocol_follows_table1(self):
+        assert set(DEFAULT_PROTOCOL) == set(range(1, 13))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PamapSimulator(dropout=1.5)
+        with pytest.raises(ConfigurationError):
+            PamapSimulator(sampling_rate=0.0)
+
+
+class TestBipartiteStreams:
+    @pytest.mark.parametrize("dataset_id,expected_length", [(1, 200), (2, 200), (3, 200), (4, 240)])
+    def test_default_lengths(self, dataset_id, expected_length):
+        dataset = make_bipartite_stream(
+            dataset_id, mean_nodes=20, random_state=0, n_steps=None
+        )
+        assert len(dataset) == expected_length
+
+    def test_change_points_every_twenty_steps(self):
+        dataset = make_bipartite_stream(1, n_steps=80, mean_nodes=20, random_state=0)
+        assert dataset.change_points == [20, 40, 60]
+        assert dataset.metadata["block_length"] == BLOCK_LENGTH
+
+    def test_dataset1_traffic_changes_between_blocks(self):
+        dataset = make_bipartite_stream(1, n_steps=60, mean_nodes=30, random_state=0)
+        block0 = np.mean([g.total_weight for g in dataset.graphs[:20]])
+        block1 = np.mean([g.total_weight for g in dataset.graphs[20:40]])
+        assert abs(block1 - block0) / block0 > 0.2
+
+    def test_dataset3_total_weight_constant(self):
+        dataset = make_bipartite_stream(3, n_steps=45, mean_nodes=30, random_state=0)
+        totals = np.array([g.total_weight for g in dataset.graphs])
+        assert np.allclose(totals, 100_000.0)
+
+    def test_dataset2_partition_change_alters_out_weight_distribution(self):
+        dataset = make_bipartite_stream(2, n_steps=120, mean_nodes=40, random_state=0)
+        # Compare the spread of per-source out-weights between a baseline
+        # block and a strongly perturbed block (block 5, magnitude 5).
+        baseline = np.mean([np.std(source_out_weights(g)) for g in dataset.graphs[0:20]])
+        perturbed = np.mean([np.std(source_out_weights(g)) for g in dataset.graphs[100:120]])
+        assert perturbed != pytest.approx(baseline, rel=0.05)
+
+    def test_dataset4_rate_permutation_changes_structure(self):
+        dataset = make_bipartite_stream(4, n_steps=60, mean_nodes=30, random_state=0)
+        assert len(dataset.graphs) == 60
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_bipartite_stream(5)
+
+    def test_node_counts_vary_over_time(self):
+        dataset = make_bipartite_stream(1, n_steps=30, mean_nodes=40, random_state=0)
+        assert len({g.n_sources for g in dataset.graphs}) > 1
+
+
+class TestEnronLikeStream:
+    def test_stream_length_and_events(self):
+        stream = EnronLikeStream(n_weeks=100, random_state=0, mean_senders=30, mean_recipients=30)
+        dataset = stream.generate()
+        assert len(dataset) == 100
+        assert dataset.change_points == sorted({e.week for e in DEFAULT_EVENTS})
+
+    def test_event_outside_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnronLikeStream(
+                n_weeks=10,
+                events=(OrganizationalEvent(50, "too late"),),
+            )
+
+    def test_traffic_shock_visible(self):
+        events = (OrganizationalEvent(10, "crisis", traffic_factor=3.0),)
+        stream = EnronLikeStream(
+            n_weeks=20, events=events, random_state=0, mean_senders=40, mean_recipients=40
+        )
+        dataset = stream.generate()
+        before = np.mean([g.total_weight for g in dataset.graphs[:10]])
+        after = np.mean([g.total_weight for g in dataset.graphs[10:]])
+        assert after > 2.0 * before
+
+    def test_transient_event_reverts(self):
+        events = (
+            OrganizationalEvent(5, "spike", traffic_factor=5.0, transient=True, duration=2),
+        )
+        stream = EnronLikeStream(
+            n_weeks=15, events=events, random_state=0, mean_senders=40, mean_recipients=40
+        )
+        dataset = stream.generate()
+        totals = [g.total_weight for g in dataset.graphs]
+        assert totals[5] > 2.0 * np.mean(totals[:5])
+        assert np.mean(totals[8:]) < 2.0 * np.mean(totals[:5])
+
+    def test_metadata_event_labels(self):
+        stream = EnronLikeStream(n_weeks=100, random_state=0, mean_senders=20, mean_recipients=20)
+        dataset = stream.generate()
+        assert dataset.metadata["events"][74] == "bankruptcy filing and layoffs"
+
+    def test_reproducible_with_seed(self):
+        kwargs = dict(n_weeks=12, mean_senders=20, mean_recipients=20,
+                      events=(OrganizationalEvent(6, "x", traffic_factor=2.0),))
+        d1 = EnronLikeStream(random_state=4, **kwargs).generate()
+        d2 = EnronLikeStream(random_state=4, **kwargs).generate()
+        assert np.allclose(d1.graphs[3].weights, d2.graphs[3].weights)

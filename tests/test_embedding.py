@@ -1,0 +1,83 @@
+"""Tests for classical multidimensional scaling."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import classical_mds
+from repro.exceptions import ValidationError
+
+
+def euclidean_matrix(points):
+    points = np.asarray(points, dtype=float)
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+class TestClassicalMDS:
+    def test_recovers_euclidean_configuration(self, rng):
+        points = rng.normal(size=(10, 2))
+        result = classical_mds(euclidean_matrix(points), n_components=2)
+        reconstructed = euclidean_matrix(result.embedding)
+        assert np.allclose(reconstructed, euclidean_matrix(points), atol=1e-6)
+
+    def test_stress_near_zero_for_euclidean_input(self, rng):
+        points = rng.normal(size=(8, 3))
+        result = classical_mds(euclidean_matrix(points), n_components=3)
+        assert result.stress < 1e-6
+
+    def test_embedding_shape(self, rng):
+        points = rng.normal(size=(7, 4))
+        result = classical_mds(euclidean_matrix(points), n_components=2)
+        assert result.embedding.shape == (7, 2)
+
+    def test_collinear_points_need_one_dimension(self):
+        points = np.array([[0.0], [1.0], [2.0], [5.0]])
+        result = classical_mds(euclidean_matrix(points), n_components=2)
+        # Second eigenvalue should be ~0 for a 1-D configuration.
+        assert result.eigenvalues[1] == pytest.approx(0.0, abs=1e-8)
+
+    def test_eigenvalues_sorted_descending(self, rng):
+        points = rng.normal(size=(6, 3))
+        result = classical_mds(euclidean_matrix(points))
+        assert np.all(np.diff(result.eigenvalues) <= 1e-9)
+
+    def test_n_components_capped_at_n_minus_1(self):
+        points = np.array([[0.0], [1.0], [3.0]])
+        result = classical_mds(euclidean_matrix(points), n_components=10)
+        assert result.embedding.shape[1] <= 2
+
+    def test_two_points(self):
+        dist = np.array([[0.0, 4.0], [4.0, 0.0]])
+        result = classical_mds(dist, n_components=1)
+        assert abs(result.embedding[0, 0] - result.embedding[1, 0]) == pytest.approx(4.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            classical_mds(np.zeros((2, 3)))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            classical_mds(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(ValidationError):
+            classical_mds(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValidationError):
+            classical_mds(np.zeros((1, 1)))
+
+    def test_non_euclidean_input_still_embeds(self):
+        # A metric violating Euclidean embeddability (negative eigenvalues)
+        # should still produce a finite embedding with non-trivial stress.
+        dist = np.array(
+            [
+                [0.0, 1.0, 1.0, 1.0],
+                [1.0, 0.0, 1.0, 1.0],
+                [1.0, 1.0, 0.0, 2.9],
+                [1.0, 1.0, 2.9, 0.0],
+            ]
+        )
+        result = classical_mds(dist, n_components=2)
+        assert np.all(np.isfinite(result.embedding))
+        assert result.stress >= 0.0

@@ -1,0 +1,239 @@
+"""Tests for the high-level EMD API, ground distances, 1-D fast path and matrices."""
+
+import numpy as np
+import pytest
+
+from repro.emd import (
+    EMDCache,
+    cross_distance_matrix,
+    cross_emd_matrix,
+    emd,
+    emd_1d_histograms,
+    emd_matrix,
+    emd_with_flow,
+    resolve_ground_distance,
+    wasserstein_1d,
+)
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.signatures import Signature
+
+
+def sig(points, weights, label=None):
+    return Signature(np.asarray(points, float), np.asarray(weights, float), label=label)
+
+
+class TestGroundDistances:
+    def test_euclidean_matches_manual(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0]])
+        dist = cross_distance_matrix(a, b, "euclidean")
+        assert dist[0, 0] == pytest.approx(3.0)
+        assert dist[1, 0] == pytest.approx(np.sqrt(10.0))
+
+    def test_sqeuclidean(self):
+        a = np.array([[0.0]])
+        b = np.array([[3.0]])
+        assert cross_distance_matrix(a, b, "sqeuclidean")[0, 0] == pytest.approx(9.0)
+
+    def test_manhattan(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 2.0]])
+        assert cross_distance_matrix(a, b, "cityblock")[0, 0] == pytest.approx(3.0)
+
+    def test_chebyshev(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 2.0]])
+        assert cross_distance_matrix(a, b, "chebyshev")[0, 0] == pytest.approx(2.0)
+
+    def test_callable_metric(self):
+        metric = lambda a, b: np.ones((a.shape[0], b.shape[0]))
+        dist = cross_distance_matrix(np.zeros((2, 1)), np.zeros((3, 1)), metric)
+        assert dist.shape == (2, 3)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_ground_distance("hyperbolic")
+
+    def test_callable_with_wrong_shape_rejected(self):
+        bad = lambda a, b: np.ones((1, 1))
+        with pytest.raises(ConfigurationError):
+            cross_distance_matrix(np.zeros((2, 1)), np.zeros((3, 1)), bad)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            cross_distance_matrix(np.zeros((2, 1)), np.zeros((3, 2)))
+
+
+class TestWasserstein1D:
+    def test_point_masses(self):
+        assert wasserstein_1d([0.0], [1.0], [3.0], [1.0]) == pytest.approx(3.0)
+
+    def test_identical_distributions(self):
+        x = np.array([0.0, 1.0, 2.0])
+        w = np.array([1.0, 2.0, 1.0])
+        assert wasserstein_1d(x, w, x, w) == pytest.approx(0.0)
+
+    def test_translation_equivariance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=20)
+        w = rng.uniform(0.5, 2.0, size=20)
+        shift = 4.2
+        assert wasserstein_1d(x, w, x + shift, w) == pytest.approx(shift, rel=1e-9)
+
+    def test_weights_normalised(self):
+        # Scaling all weights by a constant must not change the distance.
+        d1 = wasserstein_1d([0.0, 1.0], [1.0, 1.0], [2.0], [1.0])
+        d2 = wasserstein_1d([0.0, 1.0], [10.0, 10.0], [2.0], [5.0])
+        assert d1 == pytest.approx(d2)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        xa, xb = rng.normal(size=10), rng.normal(size=15)
+        wa, wb = np.ones(10), np.ones(15)
+        assert wasserstein_1d(xa, wa, xb, wb) == pytest.approx(
+            wasserstein_1d(xb, wb, xa, wa)
+        )
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            wasserstein_1d([0.0, 1.0], [1.0], [2.0], [1.0])
+
+
+class TestEmd1dHistograms:
+    def test_identical_histograms(self):
+        counts = np.array([1.0, 2.0, 3.0])
+        assert emd_1d_histograms(counts, counts) == pytest.approx(0.0)
+
+    def test_one_bin_shift(self):
+        a = np.array([1.0, 0.0, 0.0])
+        b = np.array([0.0, 1.0, 0.0])
+        assert emd_1d_histograms(a, b, bin_width=2.0) == pytest.approx(2.0)
+
+    def test_mismatched_bins_rejected(self):
+        with pytest.raises(ValueError):
+            emd_1d_histograms(np.ones(3), np.ones(4))
+
+    def test_nonpositive_bin_width_rejected(self):
+        with pytest.raises(ValueError):
+            emd_1d_histograms(np.ones(3), np.ones(3), bin_width=0.0)
+
+
+class TestEmd:
+    def test_identical_signatures_zero(self, small_signature):
+        assert emd(small_signature, small_signature) == pytest.approx(0.0, abs=1e-9)
+
+    def test_point_mass_distance(self):
+        a = sig([[0.0, 0.0]], [1.0])
+        b = sig([[3.0, 4.0]], [1.0])
+        assert emd(a, b) == pytest.approx(5.0)
+
+    def test_translation_distance(self, small_signature, shifted_signature):
+        # Both signatures share the same internal shape, translated by (5, 5).
+        assert emd(small_signature, shifted_signature) == pytest.approx(
+            np.sqrt(50.0), rel=1e-6
+        )
+
+    def test_symmetry(self, rng):
+        a = sig(rng.normal(size=(4, 2)), rng.uniform(1, 3, 4))
+        b = sig(rng.normal(size=(6, 2)), rng.uniform(1, 3, 6))
+        assert emd(a, b) == pytest.approx(emd(b, a), rel=1e-8)
+
+    def test_triangle_inequality_on_normalised_signatures(self, rng):
+        sigs = [
+            sig(rng.normal(size=(4, 2)), np.ones(4)).normalized() for _ in range(3)
+        ]
+        d01 = emd(sigs[0], sigs[1])
+        d12 = emd(sigs[1], sigs[2])
+        d02 = emd(sigs[0], sigs[2])
+        assert d02 <= d01 + d12 + 1e-8
+
+    def test_backends_agree(self, rng):
+        a = sig(rng.normal(size=(5, 3)), rng.uniform(1, 4, 5))
+        b = sig(rng.normal(size=(4, 3)), rng.uniform(1, 4, 4))
+        assert emd(a, b, backend="linprog") == pytest.approx(
+            emd(a, b, backend="simplex"), rel=1e-5
+        )
+
+    def test_1d_fast_path_matches_lp(self, rng):
+        xa = rng.normal(size=(6, 1))
+        xb = rng.normal(size=(6, 1))
+        a = sig(xa, np.ones(6))
+        b = sig(xb, np.ones(6))
+        assert emd(a, b, backend="auto") == pytest.approx(
+            emd(a, b, backend="linprog"), rel=1e-8
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            emd(sig([[0.0]], [1.0]), sig([[0.0, 0.0]], [1.0]))
+
+    def test_unknown_backend_rejected(self, small_signature):
+        with pytest.raises(ConfigurationError):
+            emd(small_signature, small_signature, backend="quantum")
+
+    def test_partial_matching_uses_smaller_mass(self):
+        # One unit of mass at 0 vs ten units spread over {0, 100}: the
+        # cheapest unit is matched, so the distance is 0.
+        a = sig([[0.0]], [1.0])
+        b = sig([[0.0], [100.0]], [5.0, 5.0])
+        assert emd(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_emd_with_flow_returns_flow_matrix(self, rng):
+        a = sig(rng.normal(size=(3, 2)), np.ones(3))
+        b = sig(rng.normal(size=(4, 2)), np.ones(4))
+        result = emd_with_flow(a, b, backend="linprog")
+        assert result.flow.shape == (3, 4)
+        assert result.total_flow == pytest.approx(3.0)
+        assert result.distance == pytest.approx(result.cost / result.total_flow)
+
+    def test_scale_invariance_of_weights(self, rng):
+        # EMD (Eq. 12) is invariant to multiplying both weight vectors by
+        # the same constant.
+        a = sig(rng.normal(size=(4, 2)), rng.uniform(1, 2, 4))
+        b = sig(rng.normal(size=(5, 2)), rng.uniform(1, 2, 5))
+        assert emd(a.scaled(3.0), b.scaled(3.0)) == pytest.approx(emd(a, b), rel=1e-7)
+
+
+class TestEmdMatrices:
+    def test_matrix_symmetric_zero_diagonal(self, rng):
+        sigs = [sig(rng.normal(size=(4, 2)), np.ones(4), label=i) for i in range(4)]
+        matrix = emd_matrix(sigs)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_cross_matrix_shape(self, rng):
+        sa = [sig(rng.normal(size=(3, 2)), np.ones(3)) for _ in range(2)]
+        sb = [sig(rng.normal(size=(3, 2)), np.ones(3)) for _ in range(3)]
+        assert cross_emd_matrix(sa, sb).shape == (2, 3)
+
+    def test_cache_hits_on_repeated_queries(self, rng):
+        sigs = [sig(rng.normal(size=(4, 2)), np.ones(4), label=i) for i in range(3)]
+        cache = EMDCache()
+        cache.matrix(sigs)
+        misses_after_first = cache.misses
+        cache.matrix(sigs)
+        assert cache.misses == misses_after_first
+        assert cache.hits > 0
+
+    def test_cache_symmetric_key(self, rng):
+        a = sig(rng.normal(size=(3, 2)), np.ones(3), label="a")
+        b = sig(rng.normal(size=(3, 2)), np.ones(3), label="b")
+        cache = EMDCache()
+        d1 = cache.distance(a, b)
+        d2 = cache.distance(b, a)
+        assert d1 == d2
+        assert len(cache) == 1
+
+    def test_cache_clear(self, rng):
+        a = sig(rng.normal(size=(3, 2)), np.ones(3), label="a")
+        b = sig(rng.normal(size=(3, 2)), np.ones(3), label="b")
+        cache = EMDCache()
+        cache.distance(a, b)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_cache_matches_direct_emd(self, rng):
+        a = sig(rng.normal(size=(4, 2)), np.ones(4), label="a")
+        b = sig(rng.normal(size=(4, 2)), np.ones(4), label="b")
+        assert EMDCache().distance(a, b) == pytest.approx(emd(a, b))

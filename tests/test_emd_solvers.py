@@ -1,0 +1,144 @@
+"""Tests for the transportation solvers and the linprog EMD backend."""
+
+import numpy as np
+import pytest
+
+from repro.emd import (
+    solve_emd_linprog,
+    solve_transportation,
+    solve_unbalanced_transportation,
+)
+from repro.emd.transportation import TransportPlan, _northwest_corner
+from repro.exceptions import ValidationError
+
+
+class TestNorthwestCorner:
+    def test_flow_satisfies_marginals(self):
+        supply = np.array([3.0, 5.0])
+        demand = np.array([4.0, 4.0])
+        flow, basis = _northwest_corner(supply, demand)
+        assert np.allclose(flow.sum(axis=1), supply)
+        assert np.allclose(flow.sum(axis=0), demand)
+
+    def test_basis_size_is_m_plus_n_minus_1(self):
+        supply = np.array([3.0, 5.0, 2.0])
+        demand = np.array([4.0, 4.0, 2.0])
+        _, basis = _northwest_corner(supply, demand)
+        assert len(basis) == 3 + 3 - 1
+
+
+class TestSolveTransportation:
+    def test_trivial_single_cell(self):
+        plan = solve_transportation(np.array([[2.0]]), np.array([3.0]), np.array([3.0]))
+        assert plan.cost == pytest.approx(6.0)
+        assert plan.total_flow == pytest.approx(3.0)
+
+    def test_known_textbook_instance(self):
+        # Classic 3x3 transportation example with optimum 39.
+        cost = np.array([[8.0, 6.0, 10.0], [9.0, 12.0, 13.0], [14.0, 9.0, 16.0]])
+        supply = np.array([2.0, 2.0, 2.0])
+        demand = np.array([2.0, 2.0, 2.0])
+        plan = solve_transportation(cost, supply, demand)
+        reference = solve_emd_linprog(cost, supply, demand)
+        assert plan.cost == pytest.approx(reference.cost, rel=1e-6)
+
+    def test_flow_respects_marginals(self):
+        cost = np.array([[1.0, 3.0], [2.0, 1.0]])
+        supply = np.array([4.0, 6.0])
+        demand = np.array([5.0, 5.0])
+        plan = solve_transportation(cost, supply, demand)
+        assert np.allclose(plan.flow.sum(axis=1), supply, atol=1e-6)
+        assert np.allclose(plan.flow.sum(axis=0), demand, atol=1e-4)
+
+    def test_zero_total_mass(self):
+        plan = solve_transportation(np.ones((2, 2)), np.zeros(2), np.zeros(2))
+        assert plan.cost == 0.0
+        assert plan.total_flow == 0.0
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_transportation(np.ones((2, 2)), np.array([1.0, 1.0]), np.array([3.0, 3.0]))
+
+    def test_negative_supply_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_transportation(np.ones((2, 2)), np.array([-1.0, 3.0]), np.array([1.0, 1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_transportation(np.ones((2, 3)), np.ones(2), np.ones(2))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_linprog_on_random_balanced_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = int(rng.integers(2, 9)), int(rng.integers(2, 9))
+        cost = rng.uniform(0.0, 10.0, size=(m, n))
+        supply = rng.uniform(0.1, 5.0, size=m)
+        demand = rng.uniform(0.1, 5.0, size=n)
+        demand *= supply.sum() / demand.sum()
+        simplex = solve_transportation(cost, supply, demand)
+        linprog = solve_emd_linprog(cost, supply, demand)
+        assert simplex.cost == pytest.approx(linprog.cost, rel=1e-5, abs=1e-6)
+
+
+class TestSolveUnbalanced:
+    def test_total_flow_is_smaller_mass(self):
+        cost = np.ones((2, 3))
+        supply = np.array([2.0, 2.0])
+        demand = np.array([5.0, 5.0, 5.0])
+        plan = solve_unbalanced_transportation(cost, supply, demand)
+        assert plan.total_flow == pytest.approx(4.0)
+
+    def test_balanced_input_delegates(self):
+        cost = np.array([[1.0, 2.0], [3.0, 1.0]])
+        supply = np.array([1.0, 1.0])
+        demand = np.array([1.0, 1.0])
+        plan = solve_unbalanced_transportation(cost, supply, demand)
+        assert plan.cost == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_linprog_on_random_unbalanced_instances(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        m, n = int(rng.integers(2, 7)), int(rng.integers(2, 7))
+        cost = rng.uniform(0.0, 10.0, size=(m, n))
+        supply = rng.uniform(0.1, 5.0, size=m)
+        demand = rng.uniform(0.1, 5.0, size=n)
+        simplex = solve_unbalanced_transportation(cost, supply, demand)
+        linprog = solve_emd_linprog(cost, supply, demand)
+        assert simplex.cost == pytest.approx(linprog.cost, rel=1e-5, abs=1e-6)
+        assert simplex.total_flow == pytest.approx(linprog.total_flow, rel=1e-6)
+
+
+class TestLinprogBackend:
+    def test_flow_nonnegative(self):
+        rng = np.random.default_rng(0)
+        cost = rng.uniform(0, 5, size=(4, 3))
+        plan = solve_emd_linprog(cost, rng.uniform(1, 2, 4), rng.uniform(1, 2, 3))
+        assert np.all(plan.flow >= 0)
+
+    def test_flow_respects_capacity_constraints(self):
+        rng = np.random.default_rng(1)
+        cost = rng.uniform(0, 5, size=(4, 3))
+        supply = rng.uniform(1, 2, 4)
+        demand = rng.uniform(1, 2, 3)
+        plan = solve_emd_linprog(cost, supply, demand)
+        assert np.all(plan.flow.sum(axis=1) <= supply + 1e-8)
+        assert np.all(plan.flow.sum(axis=0) <= demand + 1e-8)
+
+    def test_total_flow_equals_min_mass(self):
+        cost = np.ones((2, 2))
+        plan = solve_emd_linprog(cost, np.array([1.0, 1.0]), np.array([10.0, 10.0]))
+        assert plan.total_flow == pytest.approx(2.0)
+
+    def test_zero_mass_short_circuit(self):
+        plan = solve_emd_linprog(np.ones((2, 2)), np.zeros(2), np.array([1.0, 1.0]))
+        assert plan.cost == 0.0
+        assert plan.total_flow == 0.0
+
+    def test_identical_distributions_zero_cost(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        plan = solve_emd_linprog(cost, np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        assert plan.cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_result_type(self):
+        plan = solve_emd_linprog(np.ones((1, 1)), np.array([1.0]), np.array([1.0]))
+        assert isinstance(plan, TransportPlan)

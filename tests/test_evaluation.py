@@ -1,0 +1,149 @@
+"""Tests for the evaluation metrics and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_confidence_interval_dataset
+from repro.evaluation import (
+    ExperimentReport,
+    false_alarm_rate,
+    format_report_table,
+    match_alarms,
+    run_experiment,
+    score_auc,
+)
+from repro.exceptions import ValidationError
+
+
+class TestMatchAlarms:
+    def test_perfect_detection(self):
+        result = match_alarms([10, 52], [10, 50], tolerance=5)
+        assert result.true_positives == 2
+        assert result.false_positives == 0
+        assert result.false_negatives == 0
+        assert result.precision == 1.0 and result.recall == 1.0 and result.f1 == 1.0
+
+    def test_delay_recorded(self):
+        result = match_alarms([53], [50], tolerance=5)
+        assert result.delays == (3.0,)
+        assert result.mean_delay == pytest.approx(3.0)
+
+    def test_alarm_outside_tolerance_is_false_positive(self):
+        result = match_alarms([70], [50], tolerance=5)
+        assert result.true_positives == 0
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+
+    def test_each_alarm_matches_at_most_one_change(self):
+        result = match_alarms([50], [50, 52], tolerance=5)
+        assert result.true_positives == 1
+        assert result.false_negatives == 1
+
+    def test_early_alarm_not_matched_by_default(self):
+        result = match_alarms([48], [50], tolerance=5)
+        assert result.true_positives == 0
+
+    def test_allow_early_window(self):
+        result = match_alarms([48], [50], tolerance=5, allow_early=3)
+        assert result.true_positives == 1
+        assert result.delays == (-2.0,)
+
+    def test_no_changes_no_alarms(self):
+        result = match_alarms([], [], tolerance=5)
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+        assert np.isnan(result.mean_delay)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValidationError):
+            match_alarms([1], [1], tolerance=-1)
+
+
+class TestFalseAlarmRate:
+    def test_counts_unmatched_alarms(self):
+        rate = false_alarm_rate([10, 90], [10], n_steps=100, tolerance=5)
+        assert rate == pytest.approx(0.01)
+
+    def test_zero_when_all_matched(self):
+        assert false_alarm_rate([10], [10], n_steps=100) == 0.0
+
+    def test_invalid_n_steps(self):
+        with pytest.raises(ValidationError):
+            false_alarm_rate([1], [1], n_steps=0)
+
+
+class TestScoreAuc:
+    def test_perfect_separation(self):
+        times = np.arange(20)
+        scores = np.zeros(20)
+        scores[10:13] = 5.0
+        assert score_auc(scores, times, [10], tolerance=2) == pytest.approx(1.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        times = np.arange(400)
+        scores = rng.normal(size=400)
+        auc = score_auc(scores, times, [100, 300], tolerance=5)
+        assert 0.35 < auc < 0.65
+
+    def test_nan_when_no_positives(self):
+        assert np.isnan(score_auc(np.ones(5), np.arange(5), [100], tolerance=2))
+
+    def test_inverted_scores_give_low_auc(self):
+        times = np.arange(20)
+        scores = np.ones(20)
+        scores[10:13] = -5.0
+        assert score_auc(scores, times, [10], tolerance=2) == pytest.approx(0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            score_auc(np.ones(3), np.arange(4), [1])
+
+
+class TestRunExperiment:
+    def test_detects_dataset4_change(self):
+        dataset = make_confidence_interval_dataset(4, random_state=1)
+        report = run_experiment(
+            dataset,
+            tau=5,
+            tau_test=5,
+            signature_method="exact",
+            n_bootstrap=60,
+            random_state=0,
+        )
+        assert isinstance(report, ExperimentReport)
+        assert report.matching.recall == 1.0
+
+    def test_no_false_alarms_on_dataset1(self):
+        dataset = make_confidence_interval_dataset(1, random_state=1)
+        report = run_experiment(
+            dataset,
+            tau=5,
+            tau_test=5,
+            signature_method="exact",
+            n_bootstrap=60,
+            random_state=0,
+        )
+        assert report.false_alarm_rate <= 0.05
+
+    def test_row_is_serialisable(self):
+        dataset = make_confidence_interval_dataset(4, random_state=1)
+        report = run_experiment(
+            dataset, tau=5, tau_test=5, signature_method="exact",
+            n_bootstrap=40, random_state=0,
+        )
+        row = report.row()
+        assert set(row) >= {"dataset", "n_alerts", "precision", "recall", "f1"}
+
+    def test_format_report_table(self):
+        dataset = make_confidence_interval_dataset(4, random_state=1)
+        report = run_experiment(
+            dataset, tau=5, tau_test=5, signature_method="exact",
+            n_bootstrap=40, random_state=0,
+        )
+        table = format_report_table([report])
+        assert "dataset" in table
+        assert "section5.1_dataset4" in table
+
+    def test_format_empty_table(self):
+        assert format_report_table([]) == "(no results)"

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyBagError,
+    NotFittedError,
+    ReproError,
+    SolverError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ValidationError, EmptyBagError, SolverError, NotFittedError, ConfigurationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_solver_error_is_runtime_error(self):
+        assert issubclass(SolverError, RuntimeError)
+
+    def test_not_fitted_error_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_empty_bag_error_is_validation_error(self):
+        assert issubclass(EmptyBagError, ValidationError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise EmptyBagError("empty")

@@ -1,0 +1,113 @@
+"""Tests for the feature-selection extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.extensions import SupervisedFeatureWeighter, dimension_change_scores
+
+
+def labelled_stream(rng, n_bags=30, change=15, relevant_shift=6.0):
+    """Bags where only dimension 0 shifts at the change point; dimensions
+    1 and 2 are irrelevant noise."""
+    bags = []
+    for t in range(n_bags):
+        offset = np.array([relevant_shift if t >= change else 0.0, 0.0, 0.0])
+        bags.append(rng.normal(offset, [1.0, 1.0, 3.0], size=(40, 3)))
+    return bags, [change]
+
+
+class TestDimensionChangeScores:
+    def test_relevant_dimension_scores_highest(self, rng):
+        bags, change_points = labelled_stream(rng)
+        scores = dimension_change_scores(bags, change_points, window=5)
+        assert int(np.argmax(scores)) == 0
+        assert scores[0] > 2.0 * max(scores[1], scores[2])
+
+    def test_requires_change_points(self, rng):
+        bags, _ = labelled_stream(rng)
+        with pytest.raises(ValidationError):
+            dimension_change_scores(bags, [], window=5)
+
+    def test_change_point_without_full_window_rejected(self, rng):
+        bags, _ = labelled_stream(rng, n_bags=8)
+        with pytest.raises(ValidationError):
+            dimension_change_scores(bags, [1], window=5)
+
+    def test_scores_shape(self, rng):
+        bags, change_points = labelled_stream(rng)
+        scores = dimension_change_scores(bags, change_points, window=4)
+        assert scores.shape == (3,)
+        assert np.all(scores >= 0)
+
+
+class TestSupervisedFeatureWeighter:
+    def test_fit_identifies_relevant_dimension(self, rng):
+        bags, change_points = labelled_stream(rng)
+        weighter = SupervisedFeatureWeighter(window=5).fit(bags, change_points)
+        assert weighter.top_dimensions(1).tolist() == [0]
+        assert weighter.weights_[0] == pytest.approx(1.0)
+        assert weighter.weights_[1] < 0.5
+
+    def test_floor_keeps_all_dimensions_visible(self, rng):
+        bags, change_points = labelled_stream(rng)
+        weighter = SupervisedFeatureWeighter(window=5, floor=0.1).fit(bags, change_points)
+        assert np.all(weighter.weights_ >= 0.1)
+
+    def test_transform_scales_dimensions(self, rng):
+        bags, change_points = labelled_stream(rng)
+        weighter = SupervisedFeatureWeighter(window=5).fit(bags, change_points)
+        transformed = weighter.transform(bags)
+        ratio = np.vstack(transformed)[:, 1].std() / np.vstack(bags)[:, 1].std()
+        assert ratio == pytest.approx(weighter.weights_[1], rel=1e-6)
+
+    def test_partial_fit_accumulates(self, rng):
+        bags1, cps1 = labelled_stream(rng)
+        bags2, cps2 = labelled_stream(rng, relevant_shift=4.0)
+        weighter = SupervisedFeatureWeighter(window=5)
+        weighter.partial_fit(bags1, cps1)
+        first_scores = weighter.scores_.copy()
+        weighter.partial_fit(bags2, cps2)
+        assert weighter.scores_.shape == first_scores.shape
+        assert weighter.top_dimensions(1).tolist() == [0]
+
+    def test_transform_requires_fit(self, rng):
+        bags, _ = labelled_stream(rng)
+        with pytest.raises(NotFittedError):
+            SupervisedFeatureWeighter().transform(bags)
+
+    def test_dimension_mismatch_rejected(self, rng):
+        bags, change_points = labelled_stream(rng)
+        weighter = SupervisedFeatureWeighter(window=5).fit(bags, change_points)
+        with pytest.raises(ValidationError):
+            weighter.transform([rng.normal(size=(5, 2))])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            SupervisedFeatureWeighter(power=0.0)
+        with pytest.raises(ValidationError):
+            SupervisedFeatureWeighter(floor=1.0)
+
+    def test_improves_detection_when_noise_dominates(self, rng):
+        # A change confined to one of several dimensions, with a heavy-noise
+        # irrelevant dimension: weighting learnt from one labelled stream
+        # should raise the detector's score contrast on a fresh stream.
+        from repro import BagChangePointDetector
+        from repro.evaluation import score_auc
+
+        train_bags, train_cps = labelled_stream(rng, relevant_shift=5.0)
+        test_bags, test_cps = labelled_stream(rng, relevant_shift=2.0)
+        weighter = SupervisedFeatureWeighter(window=5, power=2.0).fit(train_bags, train_cps)
+
+        detector_kwargs = dict(
+            tau=5, tau_test=5, signature_method="exact", n_bootstrap=40, random_state=0
+        )
+        raw_result = BagChangePointDetector(**detector_kwargs).detect(test_bags)
+        weighted_result = BagChangePointDetector(**detector_kwargs).detect(
+            weighter.transform(test_bags)
+        )
+        raw_auc = score_auc(raw_result.scores, raw_result.times, test_cps, tolerance=3)
+        weighted_auc = score_auc(
+            weighted_result.scores, weighted_result.times, test_cps, tolerance=3
+        )
+        assert weighted_auc >= raw_auc - 0.05

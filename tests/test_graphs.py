@@ -1,0 +1,252 @@
+"""Tests for the bipartite graph model, feature extraction and generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.graphs import (
+    BipartiteGraph,
+    CommunityModel,
+    FEATURE_NAMES,
+    destination_degrees,
+    destination_in_weights,
+    destination_second_degrees,
+    edge_weights,
+    extract_all_features,
+    extract_feature,
+    feature_bag_sequences,
+    sample_community_graph,
+    source_degrees,
+    source_out_weights,
+    source_second_degrees,
+)
+
+
+@pytest.fixture
+def figure9_graph():
+    """The example graph of paper Fig. 9: 5 source nodes, 4 destination nodes.
+
+    Edges (1-based in the paper, 0-based here):
+      source 1 -> dest 1 (weight 12), source 1 -> dest 3 (weight 8),
+      source 2 -> dest 1 (weight 2),  source 3 -> dest 2 (weight 7),
+      source 4 -> dest 3 (weight 9),  source 5 -> dest 3 (weight 9),
+      source 5 -> dest 4 (weight 4).
+    Weights are chosen so the totals quoted in the paper hold:
+      out-weight of source 1 = 20, out-weight of source 4 = 9,
+      in-weight of dest 1 = 14, in-weight of dest 3 = 26.
+    """
+    weights = np.zeros((5, 4))
+    weights[0, 0] = 12.0
+    weights[0, 2] = 8.0
+    weights[1, 0] = 2.0
+    weights[2, 1] = 7.0
+    weights[3, 2] = 9.0
+    weights[4, 2] = 9.0
+    weights[4, 3] = 4.0
+    return BipartiteGraph(weights)
+
+
+class TestBipartiteGraph:
+    def test_sizes(self, figure9_graph):
+        assert figure9_graph.n_sources == 5
+        assert figure9_graph.n_destinations == 4
+        assert figure9_graph.n_edges == 7
+
+    def test_total_weight(self, figure9_graph):
+        assert figure9_graph.total_weight == pytest.approx(51.0)
+
+    def test_adjacency_binary(self, figure9_graph):
+        adjacency = figure9_graph.adjacency
+        assert set(np.unique(adjacency)) <= {0.0, 1.0}
+
+    def test_edge_list_round_trip(self, figure9_graph):
+        edges = figure9_graph.edge_list()
+        rebuilt = BipartiteGraph.from_edges(edges, n_sources=5, n_destinations=4)
+        assert np.allclose(rebuilt.weights, figure9_graph.weights)
+
+    def test_from_edges_sums_duplicates(self):
+        graph = BipartiteGraph.from_edges([(0, 0, 1.0), (0, 0, 2.0)])
+        assert graph.weights[0, 0] == pytest.approx(3.0)
+
+    def test_from_edges_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            BipartiteGraph.from_edges([])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            BipartiteGraph(np.array([[-1.0]]))
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValidationError):
+            BipartiteGraph(np.zeros((0, 3)))
+
+    def test_rearranged_permutes(self, figure9_graph):
+        rearranged = figure9_graph.rearranged([4, 3, 2, 1, 0], [0, 1, 2, 3])
+        assert rearranged.weights[0, 2] == figure9_graph.weights[4, 2]
+
+    def test_rearranged_requires_permutation(self, figure9_graph):
+        with pytest.raises(ValidationError):
+            figure9_graph.rearranged([0, 0, 1, 2, 3], [0, 1, 2, 3])
+
+    def test_weights_immutable(self, figure9_graph):
+        with pytest.raises(ValueError):
+            figure9_graph.weights[0, 0] = 99.0
+
+
+class TestFigure9Features:
+    """Check the feature values the paper quotes for its Fig. 9 example."""
+
+    def test_source_degree_of_node_1(self, figure9_graph):
+        # "source node 1 is connected to 2 destination nodes, so its degree is 2"
+        assert source_degrees(figure9_graph)[0] == 2
+
+    def test_destination_degree_of_node_1(self, figure9_graph):
+        # "destination node 1 is connected to 2 source nodes, so its degree is 2"
+        assert destination_degrees(figure9_graph)[0] == 2
+
+    def test_second_degree_of_source_1(self, figure9_graph):
+        # "its second degree is 3" (source nodes 2, 4 and 5 share destinations)
+        assert source_second_degrees(figure9_graph)[0] == 3
+
+    def test_second_degree_of_destination_1(self, figure9_graph):
+        # "destination node 1 ... its second degree is 1"
+        assert destination_second_degrees(figure9_graph)[0] == 1
+
+    def test_out_weight_of_sources(self, figure9_graph):
+        # "it would be 20 for source node 1, and 9 for source node 4"
+        out = source_out_weights(figure9_graph)
+        assert out[0] == pytest.approx(20.0)
+        assert out[3] == pytest.approx(9.0)
+
+    def test_in_weight_of_destinations(self, figure9_graph):
+        # "14 for destination node 1, and 26 for destination node 3"
+        inw = destination_in_weights(figure9_graph)
+        assert inw[0] == pytest.approx(14.0)
+        assert inw[2] == pytest.approx(26.0)
+
+    def test_edge_weights_feature(self, figure9_graph):
+        values = edge_weights(figure9_graph)
+        assert values.shape == (7,)
+        assert values.sum() == pytest.approx(51.0)
+
+
+class TestFeatureExtraction:
+    def test_extract_feature_column_shape(self, figure9_graph):
+        for fid in FEATURE_NAMES:
+            bag = extract_feature(figure9_graph, fid)
+            assert bag.ndim == 2 and bag.shape[1] == 1
+
+    def test_extract_all_features_keys(self, figure9_graph):
+        assert sorted(extract_all_features(figure9_graph)) == list(range(1, 8))
+
+    def test_unknown_feature_rejected(self, figure9_graph):
+        with pytest.raises(ConfigurationError):
+            extract_feature(figure9_graph, 8)
+
+    def test_edge_weight_bag_for_empty_graph(self):
+        graph = BipartiteGraph(np.zeros((2, 2)))
+        assert extract_feature(graph, 7).shape == (1, 1)
+
+    def test_feature_bag_sequences(self, figure9_graph):
+        sequences = feature_bag_sequences([figure9_graph, figure9_graph])
+        assert set(sequences) == set(range(1, 8))
+        assert all(len(bags) == 2 for bags in sequences.values())
+
+    def test_bag_sizes_track_node_counts(self, figure9_graph):
+        sequences = feature_bag_sequences([figure9_graph])
+        assert len(sequences[1][0]) == figure9_graph.n_sources
+        assert len(sequences[2][0]) == figure9_graph.n_destinations
+        assert len(sequences[7][0]) == figure9_graph.n_edges
+
+
+class TestCommunityModel:
+    def test_valid_model(self):
+        model = CommunityModel(
+            rate_matrix=np.array([[10.0, 3.0], [1.0, 5.0]]),
+            source_fractions=np.array([0.5, 0.5]),
+            destination_fractions=np.array([0.5, 0.5]),
+        )
+        assert model.rate_matrix.shape == (2, 2)
+
+    def test_fraction_sum_enforced(self):
+        with pytest.raises(ValidationError):
+            CommunityModel(
+                rate_matrix=np.ones((2, 2)),
+                source_fractions=np.array([0.6, 0.6]),
+                destination_fractions=np.array([0.5, 0.5]),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            CommunityModel(
+                rate_matrix=np.ones((2, 3)),
+                source_fractions=np.array([0.5, 0.5]),
+                destination_fractions=np.array([0.5, 0.5]),
+            )
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValidationError):
+            CommunityModel(
+                rate_matrix=-np.ones((2, 2)),
+                source_fractions=np.array([0.5, 0.5]),
+                destination_fractions=np.array([0.5, 0.5]),
+            )
+
+    def test_with_rates_and_partitions(self):
+        model = CommunityModel(
+            rate_matrix=np.ones((2, 2)),
+            source_fractions=np.array([0.5, 0.5]),
+            destination_fractions=np.array([0.5, 0.5]),
+        )
+        updated = model.with_rates(2 * np.ones((2, 2))).with_partitions(0.3, 0.7)
+        assert updated.rate_matrix[0, 0] == 2.0
+        assert updated.source_fractions[0] == pytest.approx(0.3)
+
+
+class TestSampleCommunityGraph:
+    def _model(self, mean_nodes=40.0):
+        return CommunityModel(
+            rate_matrix=np.array([[10.0, 1.0], [1.0, 10.0]]),
+            source_fractions=np.array([0.5, 0.5]),
+            destination_fractions=np.array([0.5, 0.5]),
+            mean_sources=mean_nodes,
+            mean_destinations=mean_nodes,
+        )
+
+    def test_node_counts_near_poisson_mean(self):
+        graphs = [sample_community_graph(self._model(), rng=i) for i in range(20)]
+        mean_sources = np.mean([g.n_sources for g in graphs])
+        assert 30 < mean_sources < 50
+
+    def test_higher_rates_more_traffic(self):
+        low = self._model()
+        high = low.with_rates(low.rate_matrix * 5.0)
+        g_low = sample_community_graph(low, rng=0)
+        g_high = sample_community_graph(high, rng=0)
+        assert g_high.total_weight > g_low.total_weight
+
+    def test_fixed_total_weight(self):
+        graph = sample_community_graph(self._model(), rng=0, fixed_total_weight=5000)
+        assert graph.total_weight == pytest.approx(5000.0)
+
+    def test_fixed_total_weight_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            sample_community_graph(self._model(), rng=0, fixed_total_weight=-1.0)
+
+    def test_index_label_carried(self):
+        graph = sample_community_graph(self._model(), rng=0, index=17)
+        assert graph.index == 17
+
+    def test_reproducible_with_seed(self):
+        g1 = sample_community_graph(self._model(), rng=5)
+        g2 = sample_community_graph(self._model(), rng=5)
+        assert np.allclose(g1.weights, g2.weights)
+
+    def test_community_structure_visible_without_shuffle(self):
+        # Without shuffling, the within-community blocks have higher average
+        # weight than the cross-community blocks for a diagonal-heavy model.
+        graph = sample_community_graph(self._model(), rng=0, shuffle_nodes=False)
+        ns, nd = graph.n_sources, graph.n_destinations
+        block_11 = graph.weights[: ns // 2, : nd // 2].mean()
+        block_12 = graph.weights[: ns // 2, nd // 2 :].mean()
+        assert block_11 > block_12

@@ -1,0 +1,202 @@
+"""Tests for the weighted information estimators and weighting schemes."""
+
+import numpy as np
+import pytest
+
+from repro.emd import emd
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.information import (
+    EstimatorConfig,
+    WeightedInformationEstimator,
+    auto_entropy,
+    cross_entropy,
+    discounted_reference_weights,
+    discounted_test_weights,
+    information_content,
+    normalize_weights,
+    resolve_weights,
+    uniform_weights,
+)
+from repro.signatures import Signature
+
+
+class TestWeightingSchemes:
+    def test_uniform_sums_to_one(self):
+        assert uniform_weights(5).sum() == pytest.approx(1.0)
+
+    def test_uniform_all_equal(self):
+        w = uniform_weights(4)
+        assert np.allclose(w, 0.25)
+
+    def test_discounted_reference_sums_to_one(self):
+        assert discounted_reference_weights(6).sum() == pytest.approx(1.0)
+
+    def test_discounted_reference_monotone_increasing(self):
+        # Chronological ordering: the most recent bag (largest index) has the
+        # smallest lag and hence the largest weight.
+        w = discounted_reference_weights(5)
+        assert np.all(np.diff(w) > 0)
+
+    def test_discounted_reference_proportional_to_inverse_lag(self):
+        w = discounted_reference_weights(3)
+        expected = np.array([1 / 3, 1 / 2, 1 / 1])
+        assert np.allclose(w, expected / expected.sum())
+
+    def test_discounted_test_monotone_decreasing(self):
+        w = discounted_test_weights(5)
+        assert np.all(np.diff(w) < 0)
+
+    def test_discounted_test_first_weight_largest(self):
+        w = discounted_test_weights(4)
+        assert w[0] == max(w)
+
+    def test_resolve_uniform(self):
+        assert np.allclose(resolve_weights("uniform", 3), uniform_weights(3))
+
+    def test_resolve_discounted_reference_vs_test(self):
+        ref = resolve_weights("discounted", 4, is_test=False)
+        test = resolve_weights("discounted", 4, is_test=True)
+        assert not np.allclose(ref, test)
+
+    def test_resolve_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_weights("exponential", 3)
+
+    def test_normalize_weights(self):
+        assert normalize_weights([2.0, 6.0]).tolist() == [0.25, 0.75]
+
+
+class TestEstimatorConfig:
+    def test_defaults(self):
+        config = EstimatorConfig()
+        assert config.constant == 0.0
+        assert config.dimension == 1.0
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(ValidationError):
+            EstimatorConfig(dimension=0.0)
+
+    def test_rejects_nonpositive_floor(self):
+        with pytest.raises(ValidationError):
+            EstimatorConfig(min_distance=0.0)
+
+
+class TestInformationContent:
+    def test_manual_value(self):
+        distances = np.array([1.0, np.e])
+        weights = np.array([0.5, 0.5])
+        # 0.5*log(1) + 0.5*log(e) = 0.5
+        assert information_content(distances, weights) == pytest.approx(0.5)
+
+    def test_constant_and_dimension_applied(self):
+        config = EstimatorConfig(constant=2.0, dimension=3.0)
+        value = information_content(np.array([np.e]), np.array([1.0]), config=config)
+        assert value == pytest.approx(2.0 + 3.0)
+
+    def test_zero_distance_floored(self):
+        value = information_content(np.array([0.0]), np.array([1.0]))
+        assert np.isfinite(value)
+
+    def test_weights_renormalised(self):
+        d = np.array([2.0, 3.0])
+        assert information_content(d, [1.0, 1.0]) == pytest.approx(
+            information_content(d, [10.0, 10.0])
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            information_content(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_larger_distances_larger_information(self):
+        weights = np.array([0.5, 0.5])
+        small = information_content(np.array([1.0, 1.0]), weights)
+        large = information_content(np.array([5.0, 5.0]), weights)
+        assert large > small
+
+
+class TestAutoEntropy:
+    def test_two_point_manual_value(self):
+        # With weights (1/2, 1/2): sum over i != j of (0.5*0.5/0.5) log d = log d.
+        distance = 3.0
+        matrix = np.array([[0.0, distance], [distance, 0.0]])
+        assert auto_entropy(matrix, [0.5, 0.5]) == pytest.approx(np.log(distance))
+
+    def test_diagonal_ignored(self):
+        matrix = np.array([[99.0, 2.0], [2.0, 99.0]])
+        assert auto_entropy(matrix, [0.5, 0.5]) == pytest.approx(np.log(2.0))
+
+    def test_singleton_set_gives_constant(self):
+        config = EstimatorConfig(constant=1.5)
+        assert auto_entropy(np.zeros((1, 1)), [1.0], config=config) == pytest.approx(1.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            auto_entropy(np.zeros((2, 3)), [0.5, 0.5])
+
+    def test_spread_increases_entropy(self):
+        tight = np.array([[0.0, 1.0], [1.0, 0.0]])
+        spread = np.array([[0.0, 10.0], [10.0, 0.0]])
+        weights = [0.5, 0.5]
+        assert auto_entropy(spread, weights) > auto_entropy(tight, weights)
+
+
+class TestCrossEntropy:
+    def test_manual_value(self):
+        cross = np.array([[np.e, np.e**2]])
+        value = cross_entropy(cross, [1.0], [0.5, 0.5])
+        assert value == pytest.approx(1.5)
+
+    def test_symmetry_under_transpose(self):
+        rng = np.random.default_rng(0)
+        cross = rng.uniform(0.5, 2.0, size=(3, 4))
+        wa, wb = uniform_weights(3), uniform_weights(4)
+        assert cross_entropy(cross, wa, wb) == pytest.approx(
+            cross_entropy(cross.T, wb, wa)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            cross_entropy(np.ones((2, 2)), [0.5, 0.5], [1.0])
+
+    def test_identical_sets_cross_entropy_at_least_auto_entropy(self):
+        # Gibbs-like inequality direction for these log-distance estimators:
+        # the cross entropy of a set with itself includes the zero diagonal
+        # (floored), so it is smaller; compare against a disjoint far set.
+        rng = np.random.default_rng(1)
+        near = rng.uniform(1.0, 2.0, size=(4, 4))
+        near = (near + near.T) / 2
+        np.fill_diagonal(near, 0.0)
+        far = near + 10.0
+        weights = uniform_weights(4)
+        assert cross_entropy(far, weights, weights) > auto_entropy(near, weights)
+
+
+class TestWeightedInformationEstimatorObject:
+    def _signatures(self, rng, offset=0.0, n=4):
+        return [
+            Signature(rng.normal(offset, 1.0, size=(5, 2)), np.ones(5), label=(offset, i))
+            for i in range(n)
+        ]
+
+    def test_information_content_matches_functional_form(self, rng):
+        signatures = self._signatures(rng)
+        target = signatures[0]
+        weights = uniform_weights(3)
+        estimator = WeightedInformationEstimator()
+        value = estimator.information_content(target, signatures[1:], weights)
+        distances = np.array([emd(s, target) for s in signatures[1:]])
+        assert value == pytest.approx(information_content(distances, weights))
+
+    def test_cross_entropy_larger_for_distant_sets(self, rng):
+        near = self._signatures(rng, 0.0)
+        far = self._signatures(rng, 10.0)
+        estimator = WeightedInformationEstimator()
+        w = uniform_weights(4)
+        assert estimator.cross_entropy(near, w, far, w) > estimator.cross_entropy(
+            near, w, near, w
+        )
+
+    def test_auto_entropy_finite(self, rng):
+        signatures = self._signatures(rng)
+        estimator = WeightedInformationEstimator()
+        assert np.isfinite(estimator.auto_entropy(signatures, uniform_weights(4)))

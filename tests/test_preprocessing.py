@@ -1,0 +1,146 @@
+"""Tests for the bag-stream preprocessing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.preprocessing import BagPCA, BagRobustScaler, BagStandardScaler, InnovationFilter
+
+
+class TestBagStandardScaler:
+    def test_transformed_stream_has_zero_mean_unit_std(self, rng):
+        bags = [rng.normal([5.0, -3.0], [2.0, 0.5], size=(50, 2)) for _ in range(6)]
+        scaled = BagStandardScaler().fit_transform(bags)
+        stacked = np.vstack(scaled)
+        assert np.allclose(stacked.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(stacked.std(axis=0), 1.0, atol=1e-9)
+
+    def test_transform_preserves_bag_sizes(self, rng):
+        bags = [rng.normal(size=(n, 3)) for n in (4, 9, 6)]
+        scaled = BagStandardScaler().fit_transform(bags)
+        assert [len(b) for b in scaled] == [4, 9, 6]
+
+    def test_inverse_transform_round_trip(self, rng):
+        bags = [rng.normal(3.0, 2.0, size=(20, 2)) for _ in range(3)]
+        scaler = BagStandardScaler().fit(bags)
+        recovered = scaler.inverse_transform(scaler.transform(bags))
+        assert np.allclose(np.vstack(recovered), np.vstack(bags))
+
+    def test_constant_dimension_does_not_divide_by_zero(self):
+        bags = [np.column_stack([np.arange(5.0), np.full(5, 2.0)])]
+        scaled = BagStandardScaler().fit_transform(bags)
+        assert np.all(np.isfinite(scaled[0]))
+
+    def test_without_mean_or_std(self, rng):
+        bags = [rng.normal(5.0, 2.0, size=(30, 1)) for _ in range(2)]
+        only_scale = BagStandardScaler(with_mean=False).fit_transform(bags)
+        assert np.vstack(only_scale).mean() > 1.0  # mean not removed
+
+    def test_requires_fit_before_transform(self, rng):
+        with pytest.raises(NotFittedError):
+            BagStandardScaler().transform([rng.normal(size=(5, 2))])
+
+    def test_dimension_mismatch_rejected(self, rng):
+        scaler = BagStandardScaler().fit([rng.normal(size=(5, 2))])
+        with pytest.raises(ValidationError):
+            scaler.transform([rng.normal(size=(5, 3))])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValidationError):
+            BagStandardScaler().fit([])
+
+
+class TestBagRobustScaler:
+    def test_median_removed(self, rng):
+        bags = [rng.normal(10.0, 1.0, size=(100, 2)) for _ in range(4)]
+        scaled = BagRobustScaler().fit_transform(bags)
+        assert abs(np.median(np.vstack(scaled))) < 0.1
+
+    def test_robust_to_outliers(self, rng):
+        clean = rng.normal(0.0, 1.0, size=(200, 1))
+        contaminated = np.vstack([clean, np.full((5, 1), 1e6)])
+        robust = BagRobustScaler().fit([contaminated])
+        standard = BagStandardScaler().fit([contaminated])
+        # The robust scale stays close to the clean IQR while the standard
+        # deviation is blown up by the outliers.
+        assert robust.iqr_[0] < 10.0
+        assert standard.scale_[0] > 1000.0
+
+    def test_requires_fit(self, rng):
+        with pytest.raises(NotFittedError):
+            BagRobustScaler().transform([rng.normal(size=(5, 1))])
+
+
+class TestBagPCA:
+    def test_projects_to_requested_dimension(self, rng):
+        bags = [rng.normal(size=(40, 5)) for _ in range(4)]
+        projected = BagPCA(n_components=2).fit_transform(bags)
+        assert all(b.shape == (40, 2) for b in projected)
+
+    def test_first_component_captures_dominant_direction(self, rng):
+        # Data varying almost only along one axis.
+        direction = np.array([1.0, 1.0]) / np.sqrt(2.0)
+        bags = [
+            np.outer(rng.normal(0, 5.0, 60), direction) + rng.normal(0, 0.1, size=(60, 2))
+            for _ in range(3)
+        ]
+        pca = BagPCA(n_components=1).fit(bags)
+        assert abs(np.dot(pca.components_[0], direction)) > 0.99
+
+    def test_explained_variance_ratio_sums_below_one(self, rng):
+        bags = [rng.normal(size=(50, 4)) for _ in range(3)]
+        pca = BagPCA(n_components=2).fit(bags)
+        assert 0.0 < pca.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+    def test_whiten_gives_unit_variance(self, rng):
+        bags = [rng.normal(0, [10.0, 0.1], size=(500, 2)) for _ in range(2)]
+        projected = BagPCA(n_components=2, whiten=True).fit_transform(bags)
+        stacked = np.vstack(projected)
+        assert np.allclose(stacked.std(axis=0), 1.0, atol=0.15)
+
+    def test_too_many_components_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            BagPCA(n_components=5).fit([rng.normal(size=(10, 2))])
+
+    def test_requires_fit(self, rng):
+        with pytest.raises(NotFittedError):
+            BagPCA().transform([rng.normal(size=(5, 2))])
+
+
+class TestInnovationFilter:
+    def test_removes_linear_drift(self, rng):
+        # Bags whose mean drifts linearly: after filtering, the segment means
+        # should no longer trend.
+        bags = [rng.normal(0.5 * t, 1.0, size=(80, 1)) for t in range(30)]
+        filtered = InnovationFilter(order=2).transform(bags)
+        means = np.array([bag.mean() for bag in filtered]).ravel()
+        drift_original = abs(np.polyfit(np.arange(30), [b.mean() for b in bags], 1)[0])
+        drift_filtered = abs(np.polyfit(np.arange(30), means, 1)[0])
+        assert drift_filtered < 0.2 * drift_original
+
+    def test_preserves_within_bag_shape(self, rng):
+        bags = [rng.normal(t, 1.0, size=(60, 2)) for t in range(10)]
+        filtered = InnovationFilter(order=1).transform(bags)
+        # Centred spread of each bag is untouched (only the location moves).
+        for original, transformed in zip(bags, filtered):
+            assert np.allclose(
+                original - original.mean(axis=0), transformed - transformed.mean(axis=0)
+            )
+
+    def test_preserves_abrupt_change_signal(self, rng):
+        bags = [rng.normal(0.0, 1.0, size=(50, 1)) for _ in range(15)]
+        bags += [rng.normal(8.0, 1.0, size=(50, 1)) for _ in range(15)]
+        filtered = InnovationFilter(order=1).transform(bags)
+        means = np.array([bag.mean() for bag in filtered]).ravel()
+        # The first post-change bag should still stick out as an innovation.
+        assert abs(means[15] - means[:15].mean()) > 3.0
+
+    def test_dimension_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            InnovationFilter().transform(
+                [rng.normal(size=(5, 1)), rng.normal(size=(5, 2))]
+            )
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValidationError):
+            InnovationFilter().transform([])

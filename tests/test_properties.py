@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines import project_to_capped_simplex
+from repro.bootstrap import percentile_interval, sample_uniform_dirichlet_weights
+from repro.emd import (
+    emd,
+    solve_emd_linprog,
+    solve_unbalanced_transportation,
+    wasserstein_1d,
+)
+from repro.embedding import classical_mds
+from repro.information import auto_entropy, cross_entropy, information_content, uniform_weights
+from repro.signatures import Signature
+
+# ---------------------------------------------------------------------------- #
+# Strategies
+# ---------------------------------------------------------------------------- #
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+positive_floats = st.floats(min_value=0.05, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def signatures(draw, dimension=None, max_size=6):
+    """Random small signatures with finite positions and positive weights."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    dim = dimension if dimension is not None else draw(st.integers(min_value=1, max_value=3))
+    positions = draw(
+        arrays(float, (size, dim), elements=finite_floats, unique=True)
+    )
+    weights = draw(arrays(float, (size,), elements=positive_floats))
+    return Signature(positions, weights)
+
+
+@st.composite
+def transport_instances(draw):
+    """Random small transportation problems (possibly unbalanced)."""
+    m = draw(st.integers(min_value=1, max_value=5))
+    n = draw(st.integers(min_value=1, max_value=5))
+    cost = draw(arrays(float, (m, n), elements=st.floats(0.0, 30.0)))
+    supply = draw(arrays(float, (m,), elements=positive_floats))
+    demand = draw(arrays(float, (n,), elements=positive_floats))
+    return cost, supply, demand
+
+
+# ---------------------------------------------------------------------------- #
+# EMD properties
+# ---------------------------------------------------------------------------- #
+
+
+class TestEmdProperties:
+    @given(signatures(dimension=2))
+    @settings(max_examples=25, deadline=None)
+    def test_self_distance_zero(self, signature):
+        assert emd(signature, signature) == pytest.approx(0.0, abs=1e-7)
+
+    @given(signatures(dimension=2), signatures(dimension=2))
+    @settings(max_examples=25, deadline=None)
+    def test_nonnegativity_and_symmetry(self, sig_a, sig_b):
+        d_ab = emd(sig_a, sig_b)
+        d_ba = emd(sig_b, sig_a)
+        assert d_ab >= -1e-9
+        assert d_ab == pytest.approx(d_ba, rel=1e-6, abs=1e-7)
+
+    @given(signatures(dimension=1), signatures(dimension=1))
+    @settings(max_examples=25, deadline=None)
+    def test_1d_closed_form_matches_lp_for_normalised_signatures(self, sig_a, sig_b):
+        a, b = sig_a.normalized(), sig_b.normalized()
+        closed_form = wasserstein_1d(
+            a.positions[:, 0], a.weights, b.positions[:, 0], b.weights
+        )
+        lp = emd(a, b, backend="linprog")
+        assert closed_form == pytest.approx(lp, rel=1e-5, abs=1e-6)
+
+    @given(
+        signatures(dimension=2),
+        signatures(dimension=2),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_weight_scale_invariance(self, sig_a, sig_b, factor):
+        original = emd(sig_a, sig_b)
+        scaled = emd(sig_a.scaled(factor), sig_b.scaled(factor))
+        assert scaled == pytest.approx(original, rel=1e-5, abs=1e-7)
+
+    @given(transport_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_simplex_matches_linprog(self, instance):
+        cost, supply, demand = instance
+        simplex = solve_unbalanced_transportation(cost, supply, demand)
+        reference = solve_emd_linprog(cost, supply, demand)
+        assert simplex.cost == pytest.approx(reference.cost, rel=1e-4, abs=1e-5)
+
+    @given(transport_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_lp_flow_feasible(self, instance):
+        cost, supply, demand = instance
+        plan = solve_emd_linprog(cost, supply, demand)
+        assert np.all(plan.flow >= -1e-9)
+        assert np.all(plan.flow.sum(axis=1) <= supply + 1e-6)
+        assert np.all(plan.flow.sum(axis=0) <= demand + 1e-6)
+        assert plan.total_flow == pytest.approx(min(supply.sum(), demand.sum()), rel=1e-6)
+
+
+# ---------------------------------------------------------------------------- #
+# Signature properties
+# ---------------------------------------------------------------------------- #
+
+
+class TestSignatureProperties:
+    @given(signatures())
+    @settings(max_examples=50, deadline=None)
+    def test_normalized_weight_sums_to_one(self, signature):
+        assert signature.normalized().total_weight == pytest.approx(1.0)
+
+    @given(signatures(), st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_scales_total_weight(self, signature, factor):
+        assert signature.scaled(factor).total_weight == pytest.approx(
+            signature.total_weight * factor, rel=1e-9
+        )
+
+    @given(signatures())
+    @settings(max_examples=50, deadline=None)
+    def test_mean_lies_in_bounding_box(self, signature):
+        mean = signature.mean()
+        low = signature.positions.min(axis=0) - 1e-9
+        high = signature.positions.max(axis=0) + 1e-9
+        assert np.all(mean >= low) and np.all(mean <= high)
+
+    @given(
+        arrays(float, st.tuples(st.integers(2, 30), st.just(2)), elements=finite_floats)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_from_points_preserves_total_mass(self, points):
+        signature = Signature.from_points(points)
+        assert signature.total_weight == pytest.approx(float(len(points)))
+
+
+# ---------------------------------------------------------------------------- #
+# Information estimator properties
+# ---------------------------------------------------------------------------- #
+
+
+class TestInformationProperties:
+    @given(st.integers(min_value=2, max_value=8), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_auto_entropy_monotone_in_global_scaling(self, n, scale):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(1.0, 2.0, size=(n, n))
+        base = (base + base.T) / 2
+        np.fill_diagonal(base, 0.0)
+        weights = uniform_weights(n)
+        small = auto_entropy(base, weights)
+        large = auto_entropy(base * (1.0 + scale), weights)
+        assert large > small
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_cross_entropy_transpose_symmetry(self, n, m):
+        rng = np.random.default_rng(1)
+        cross = rng.uniform(0.5, 3.0, size=(n, m))
+        wa, wb = uniform_weights(n), uniform_weights(m)
+        assert cross_entropy(cross, wa, wb) == pytest.approx(cross_entropy(cross.T, wb, wa))
+
+    @given(arrays(float, st.integers(1, 10), elements=st.floats(0.1, 10.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_information_content_bounded_by_extremes(self, distances):
+        weights = np.ones_like(distances)
+        value = information_content(distances, weights)
+        assert np.log(distances.min()) - 1e-9 <= value <= np.log(distances.max()) + 1e-9
+
+
+# ---------------------------------------------------------------------------- #
+# Bootstrap / projection / MDS properties
+# ---------------------------------------------------------------------------- #
+
+
+class TestMiscellaneousProperties:
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_dirichlet_weights_form_distribution(self, n, size):
+        weights = sample_uniform_dirichlet_weights(n, size, rng=0)
+        assert weights.shape == (size, n)
+        assert np.all(weights >= 0)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    @given(
+        arrays(float, st.integers(2, 200), elements=finite_floats),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_percentile_interval_ordered_and_within_range(self, samples, alpha):
+        interval = percentile_interval(samples, alpha)
+        assert interval.lower <= interval.upper
+        assert interval.lower >= samples.min() - 1e-9
+        assert interval.upper <= samples.max() + 1e-9
+
+    @given(
+        arrays(float, st.integers(2, 30), elements=finite_floats),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_capped_simplex_projection_feasible(self, values, cap):
+        assume(cap * len(values) >= 1.0)
+        projected = project_to_capped_simplex(values, cap)
+        assert projected.sum() == pytest.approx(1.0, abs=1e-5)
+        assert np.all(projected >= -1e-9)
+        assert np.all(projected <= cap + 1e-6)
+
+    @given(arrays(float, st.tuples(st.integers(3, 10), st.just(2)), elements=finite_floats))
+    @settings(max_examples=30, deadline=None)
+    def test_mds_reproduces_euclidean_distances(self, points):
+        assume(np.unique(points, axis=0).shape[0] == points.shape[0])
+        diff = points[:, None, :] - points[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=2))
+        result = classical_mds(dist, n_components=2)
+        diff_e = result.embedding[:, None, :] - result.embedding[None, :, :]
+        dist_e = np.sqrt((diff_e**2).sum(axis=2))
+        assert np.allclose(dist_e, dist, atol=1e-5 * (1.0 + dist.max()))

@@ -1,0 +1,104 @@
+"""Tests for the stream segmentation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bootstrap import ConfidenceInterval
+from repro.core import (
+    DetectionResult,
+    ScorePoint,
+    Segment,
+    merge_close_alarms,
+    segment_from_result,
+    segment_stream,
+)
+from repro.exceptions import ValidationError
+
+
+class TestMergeCloseAlarms:
+    def test_keeps_isolated_alarms(self):
+        assert merge_close_alarms([5, 20, 40], min_gap=3) == [5, 20, 40]
+
+    def test_merges_runs_keeping_first(self):
+        assert merge_close_alarms([10, 11, 12, 30], min_gap=5) == [10, 30]
+
+    def test_unsorted_input(self):
+        assert merge_close_alarms([30, 10, 12], min_gap=5) == [10, 30]
+
+    def test_empty_input(self):
+        assert merge_close_alarms([], min_gap=2) == []
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(start=3, end=8).length == 5
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValidationError):
+            Segment(start=5, end=5)
+
+
+class TestSegmentStream:
+    def test_no_alarms_single_segment(self):
+        segments = segment_stream(10, [])
+        assert len(segments) == 1
+        assert segments[0].start == 0 and segments[0].end == 10
+
+    def test_segments_partition_the_stream(self):
+        segments = segment_stream(20, [5, 12])
+        assert [(s.start, s.end) for s in segments] == [(0, 5), (5, 12), (12, 20)]
+        assert sum(s.length for s in segments) == 20
+
+    def test_alarms_outside_range_ignored(self):
+        segments = segment_stream(10, [0, 10, 25, 4])
+        assert [(s.start, s.end) for s in segments] == [(0, 4), (4, 10)]
+
+    def test_close_alarms_merged(self):
+        segments = segment_stream(20, [5, 6, 7, 15], min_segment_length=4)
+        assert [(s.start, s.end) for s in segments] == [(0, 5), (5, 15), (15, 20)]
+
+    def test_per_segment_statistics(self, rng):
+        bags = [rng.normal(0.0, 0.1, size=(10, 2)) for _ in range(5)]
+        bags += [rng.normal(4.0, 0.1, size=(10, 2)) for _ in range(5)]
+        segments = segment_stream(10, [5], bags=bags)
+        assert segments[0].n_observations == 50
+        assert np.allclose(segments[0].mean, [0.0, 0.0], atol=0.2)
+        assert np.allclose(segments[1].mean, [4.0, 4.0], atol=0.2)
+
+    def test_bags_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            segment_stream(5, [2], bags=[rng.normal(size=(3, 1))])
+
+
+class TestSegmentFromResult:
+    def _result(self, alarm_times, tau_test=4):
+        points = [
+            ScorePoint(
+                time=t,
+                score=1.0,
+                interval=ConfidenceInterval(0.0, 1.0, 0.95),
+                alert=t in alarm_times,
+            )
+            for t in range(4, 20)
+        ]
+        return DetectionResult(points=points, metadata={"tau_test": tau_test})
+
+    def test_uses_tau_test_as_default_gap(self):
+        result = self._result({8, 9, 10, 16})
+        segments = segment_from_result(result, 24)
+        assert [(s.start, s.end) for s in segments] == [(0, 8), (8, 16), (16, 24)]
+
+    def test_explicit_min_segment_length(self):
+        result = self._result({8, 10})
+        segments = segment_from_result(result, 20, min_segment_length=1)
+        assert [(s.start, s.end) for s in segments] == [(0, 8), (8, 10), (10, 20)]
+
+    def test_end_to_end_with_detector(self, step_change_bags, fast_config):
+        from repro import BagChangePointDetector
+
+        result = BagChangePointDetector(fast_config).detect(step_change_bags)
+        segments = segment_from_result(result, len(step_change_bags), bags=step_change_bags)
+        assert sum(s.length for s in segments) == len(step_change_bags)
+        assert len(segments) >= 2
+        # The first and last segments straddle the mean shift at index 8.
+        assert np.linalg.norm(segments[-1].mean - segments[0].mean) > 3.0

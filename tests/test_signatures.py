@@ -1,0 +1,172 @@
+"""Tests for the Signature type and the signature builders."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.signatures import Signature, SignatureBuilder, build_signature
+
+
+class TestSignatureConstruction:
+    def test_basic_properties(self, small_signature):
+        assert small_signature.size == 3
+        assert small_signature.dimension == 2
+        assert small_signature.total_weight == pytest.approx(6.0)
+        assert len(small_signature) == 3
+
+    def test_zero_weight_entries_dropped(self):
+        sig = Signature(np.array([[0.0], [1.0], [2.0]]), np.array([1.0, 0.0, 2.0]))
+        assert sig.size == 2
+        assert sig.total_weight == pytest.approx(3.0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValidationError):
+            Signature(np.array([[0.0]]), np.array([-1.0]))
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValidationError):
+            Signature(np.array([[0.0], [1.0]]), np.array([0.0, 0.0]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Signature(np.array([[0.0], [1.0]]), np.array([1.0]))
+
+    def test_rejects_nan_positions(self):
+        with pytest.raises(ValidationError):
+            Signature(np.array([[np.nan]]), np.array([1.0]))
+
+    def test_arrays_are_immutable(self, small_signature):
+        with pytest.raises(ValueError):
+            small_signature.positions[0, 0] = 99.0
+
+    def test_iteration_yields_pairs(self, small_signature):
+        pairs = list(small_signature)
+        assert len(pairs) == 3
+        position, weight = pairs[0]
+        assert position.shape == (2,)
+        assert isinstance(weight, float)
+
+    def test_label_carried(self):
+        sig = Signature(np.array([[1.0]]), np.array([1.0]), label=42)
+        assert sig.label == 42
+
+
+class TestSignatureTransforms:
+    def test_normalized_total_weight_one(self, small_signature):
+        assert small_signature.normalized().total_weight == pytest.approx(1.0)
+
+    def test_normalized_preserves_proportions(self, small_signature):
+        norm = small_signature.normalized()
+        assert np.allclose(
+            norm.weights / norm.weights.sum(),
+            small_signature.weights / small_signature.weights.sum(),
+        )
+
+    def test_scaled(self, small_signature):
+        assert small_signature.scaled(2.0).total_weight == pytest.approx(12.0)
+
+    def test_scaled_rejects_nonpositive(self, small_signature):
+        with pytest.raises(ValidationError):
+            small_signature.scaled(0.0)
+
+    def test_mean_is_weighted_centroid(self):
+        sig = Signature(np.array([[0.0], [10.0]]), np.array([3.0, 1.0]))
+        assert sig.mean()[0] == pytest.approx(2.5)
+
+    def test_merged_concatenates(self, small_signature, shifted_signature):
+        merged = small_signature.merged(shifted_signature)
+        assert merged.size == 6
+        assert merged.total_weight == pytest.approx(12.0)
+
+    def test_merged_rejects_dimension_mismatch(self, small_signature):
+        other = Signature(np.array([[1.0]]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            small_signature.merged(other)
+
+
+class TestSignatureConstructors:
+    def test_from_points_collapses_duplicates(self):
+        points = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        sig = Signature.from_points(points)
+        assert sig.size == 2
+        assert sig.total_weight == pytest.approx(3.0)
+
+    def test_from_histogram(self):
+        sig = Signature.from_histogram(
+            counts=np.array([3.0, 0.0, 2.0]),
+            bin_centers=np.array([[0.0], [1.0], [2.0]]),
+        )
+        assert sig.size == 2
+
+    def test_from_histogram_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            Signature.from_histogram(np.zeros(3), np.arange(3.0).reshape(-1, 1))
+
+    def test_from_histogram_rejects_mismatch(self):
+        with pytest.raises(ValidationError):
+            Signature.from_histogram(np.ones(2), np.arange(3.0).reshape(-1, 1))
+
+
+class TestSignatureBuilder:
+    @pytest.mark.parametrize("method", ["kmeans", "kmedoids", "lvq", "histogram", "exact"])
+    def test_all_methods_produce_valid_signatures(self, rng, method):
+        bag = rng.normal(size=(60, 2))
+        sig = SignatureBuilder(method, n_clusters=4, bins=5, random_state=0).build(bag)
+        assert sig.total_weight == pytest.approx(60.0)
+        assert sig.dimension == 2
+
+    def test_clustering_respects_n_clusters(self, rng):
+        bag = rng.normal(size=(100, 2))
+        sig = SignatureBuilder("kmeans", n_clusters=5, random_state=0).build(bag)
+        assert sig.size <= 5
+
+    def test_small_bag_falls_back_to_exact(self, rng):
+        bag = rng.normal(size=(3, 2))
+        sig = SignatureBuilder("kmeans", n_clusters=8, random_state=0).build(bag)
+        assert sig.size <= 3
+
+    def test_exact_method_uses_unique_points(self):
+        bag = np.array([[0.0], [0.0], [1.0]])
+        sig = SignatureBuilder("exact").build(bag)
+        assert sig.size == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SignatureBuilder("quantum")
+
+    def test_build_sequence_assigns_labels(self, rng):
+        bags = [rng.normal(size=(10, 1)) for _ in range(3)]
+        sigs = SignatureBuilder("exact").build_sequence(bags)
+        assert [s.label for s in sigs] == [0, 1, 2]
+
+    def test_build_sequence_custom_labels(self, rng):
+        bags = [rng.normal(size=(10, 1)) for _ in range(2)]
+        sigs = SignatureBuilder("exact").build_sequence(bags, labels=["a", "b"])
+        assert [s.label for s in sigs] == ["a", "b"]
+
+    def test_custom_quantizer_instance(self, rng):
+        from repro.quantize import KMeans
+
+        bag = rng.normal(size=(50, 2))
+        builder = SignatureBuilder(quantizer=KMeans(3, random_state=0))
+        sig = builder.build(bag)
+        assert sig.size <= 3
+
+    def test_histogram_range_shared_grid(self, rng):
+        builder = SignatureBuilder("histogram", bins=4, histogram_range=(-3.0, 3.0))
+        s1 = builder.build(rng.normal(size=(50, 1)))
+        s2 = builder.build(rng.normal(size=(50, 1)))
+        centers = set(np.round(np.concatenate([s1.positions.ravel(), s2.positions.ravel()]), 6))
+        assert len(centers) <= 4
+
+
+class TestBuildSignatureFunction:
+    def test_convenience_wrapper(self, rng):
+        bag = rng.normal(size=(40, 3))
+        sig = build_signature(bag, "kmeans", n_clusters=4, random_state=0, label="t0")
+        assert sig.label == "t0"
+        assert sig.dimension == 3
+
+    def test_total_weight_equals_bag_size(self, rng):
+        bag = rng.normal(size=(25, 2))
+        assert build_signature(bag, "exact").total_weight == pytest.approx(25.0)

@@ -1,0 +1,86 @@
+"""Tests for the entropic-regularised (Sinkhorn) approximate EMD backend."""
+
+import numpy as np
+import pytest
+
+from repro.emd import emd, sinkhorn_emd, sinkhorn_transport
+from repro.exceptions import ValidationError
+from repro.signatures import Signature
+
+
+def random_signature(rng, size=6, dim=2):
+    return Signature(rng.normal(size=(size, dim)), rng.uniform(0.5, 2.0, size))
+
+
+class TestSinkhornTransport:
+    def test_plan_marginals_match_weights(self, rng):
+        cost = rng.uniform(0, 5, size=(4, 6))
+        a = rng.uniform(0.5, 2.0, 4)
+        b = rng.uniform(0.5, 2.0, 6)
+        result = sinkhorn_transport(cost, a, b, epsilon=0.05)
+        assert np.allclose(result.plan.sum(axis=1), a / a.sum(), atol=1e-5)
+        assert np.allclose(result.plan.sum(axis=0), b / b.sum(), atol=1e-5)
+
+    def test_plan_nonnegative(self, rng):
+        cost = rng.uniform(0, 5, size=(3, 3))
+        result = sinkhorn_transport(cost, np.ones(3), np.ones(3))
+        assert np.all(result.plan >= 0)
+
+    def test_converges_flag(self, rng):
+        cost = rng.uniform(0, 1, size=(3, 3))
+        result = sinkhorn_transport(cost, np.ones(3), np.ones(3), epsilon=0.5)
+        assert result.converged
+
+    def test_cost_decreases_with_smaller_epsilon(self, rng):
+        # Smaller entropic regularisation concentrates the plan on cheaper
+        # routes, so the transport cost under the original ground distance
+        # cannot increase.
+        cost = rng.uniform(0, 5, size=(5, 5))
+        a, b = np.ones(5), np.ones(5)
+        loose = sinkhorn_transport(cost, a, b, epsilon=1.0).distance
+        tight = sinkhorn_transport(cost, a, b, epsilon=0.01).distance
+        assert tight <= loose + 1e-9
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            sinkhorn_transport(np.ones((2, 2)), np.ones(3), np.ones(2))
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValidationError):
+            sinkhorn_transport(np.ones((2, 2)), np.ones(2), np.ones(2), epsilon=0.0)
+
+
+class TestSinkhornEmd:
+    def test_close_to_exact_emd_for_small_epsilon(self, rng):
+        sig_a = random_signature(rng).normalized()
+        sig_b = random_signature(rng).normalized()
+        exact = emd(sig_a, sig_b, backend="linprog")
+        approx = sinkhorn_emd(sig_a, sig_b, epsilon=0.005, max_iter=5000)
+        assert approx == pytest.approx(exact, rel=0.05, abs=0.02)
+
+    def test_upper_bounds_exact_value(self, rng):
+        # The regularised plan is feasible for the unregularised problem, so
+        # its cost can only exceed (or match) the exact optimum.
+        sig_a = random_signature(rng).normalized()
+        sig_b = random_signature(rng).normalized()
+        exact = emd(sig_a, sig_b, backend="linprog")
+        approx = sinkhorn_emd(sig_a, sig_b, epsilon=0.05)
+        assert approx >= exact - 1e-6
+
+    def test_error_shrinks_with_epsilon(self, rng):
+        sig_a = random_signature(rng, size=5).normalized()
+        sig_b = random_signature(rng, size=5).normalized()
+        exact = emd(sig_a, sig_b, backend="linprog")
+        coarse = abs(sinkhorn_emd(sig_a, sig_b, epsilon=1.0) - exact)
+        fine = abs(sinkhorn_emd(sig_a, sig_b, epsilon=0.01, max_iter=5000) - exact)
+        assert fine <= coarse + 1e-9
+
+    def test_self_distance_small(self, rng):
+        sig = random_signature(rng).normalized()
+        assert sinkhorn_emd(sig, sig, epsilon=0.01, max_iter=5000) < 0.1
+
+    def test_dimension_mismatch_rejected(self, rng):
+        sig_a = random_signature(rng, dim=2)
+        sig_b = random_signature(rng, dim=3)
+        with pytest.raises(ValidationError):
+            sinkhorn_emd(sig_a, sig_b)

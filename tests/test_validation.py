@@ -1,0 +1,146 @@
+"""Tests for the internal validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_rng,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_same_dimension,
+    check_vector,
+    check_weights,
+    check_window,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAsRng:
+    def test_returns_generator_from_seed(self):
+        assert isinstance(as_rng(0), np.random.Generator)
+
+    def test_passes_through_existing_generator(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert as_rng(7).integers(1000) == as_rng(7).integers(1000)
+
+
+class TestCheckMatrix:
+    def test_promotes_1d_to_column(self):
+        out = check_matrix([1.0, 2.0, 3.0])
+        assert out.shape == (3, 1)
+
+    def test_keeps_2d_shape(self):
+        out = check_matrix(np.ones((4, 3)))
+        assert out.shape == (4, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.ones((2, 2, 2)))
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValidationError):
+            check_matrix(np.empty((0, 2)))
+
+    def test_allows_empty_when_requested(self):
+        out = check_matrix(np.empty((0, 2)), allow_empty=True)
+        assert out.shape == (0, 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_matrix([[np.inf, 1.0]])
+
+
+class TestCheckVector:
+    def test_flattens_input(self):
+        assert check_vector([[1.0], [2.0]]).shape == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_vector([])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValidationError):
+            check_vector([1.0, np.nan])
+
+
+class TestCheckWeights:
+    def test_accepts_positive_weights(self):
+        out = check_weights([1.0, 2.0, 3.0])
+        assert out.sum() == pytest.approx(6.0)
+
+    def test_normalize_option(self):
+        out = check_weights([2.0, 2.0], normalize=True)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_weights([1.0, -0.1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValidationError):
+            check_weights([0.0, 0.0])
+
+
+class TestCheckPositiveInt:
+    def test_accepts_valid(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_rejects_zero_with_default_minimum(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+
+class TestCheckProbability:
+    def test_accepts_interior_value(self):
+        assert check_probability(0.05, "alpha") == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "alpha")
+
+
+class TestCheckSameDimension:
+    def test_accepts_matching(self):
+        check_same_dimension(np.ones((2, 3)), np.ones((5, 3)), "a", "b")
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_same_dimension(np.ones((2, 3)), np.ones((5, 2)), "a", "b")
+
+
+class TestCheckWindow:
+    def test_none_passes_through(self):
+        assert check_window(None, "w") is None
+
+    def test_positive_int_passes(self):
+        assert check_window(4, "w") == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_window(0, "w")
