@@ -70,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="signature construction method",
     )
     parser.add_argument("--clusters", type=int, default=8, help="signature size K")
+    parser.add_argument(
+        "--parallel",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="how the EMD engine computes distance batches",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for --parallel thread/process (default: CPU count)",
+    )
+    parser.add_argument(
+        "--lr-inspection-index", type=int, default=0,
+        help="test-window position of the inspected bag for --score lr",
+    )
     parser.add_argument("--bootstrap", type=int, default=200, help="Bayesian bootstrap replicates")
     parser.add_argument("--alpha", type=float, default=0.05, help="CI significance level")
     parser.add_argument("--seed", type=int, default=None, help="random seed")
@@ -99,6 +113,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         score=args.score,
         signature_method=args.signature,
         n_clusters=args.clusters,
+        parallel_backend=args.parallel,
+        n_workers=args.workers,
+        lr_inspection_index=args.lr_inspection_index,
         n_bootstrap=args.bootstrap,
         alpha=args.alpha,
         random_state=args.seed,

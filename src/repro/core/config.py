@@ -7,6 +7,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..emd.batch import PARALLEL_BACKENDS
 from ..exceptions import ConfigurationError
 from ..information import EstimatorConfig
 
@@ -41,6 +42,16 @@ class DetectorConfig:
         Ground distance of the EMD (Section 3.2).
     emd_backend:
         ``"auto"``, ``"linprog"`` or ``"simplex"``.
+    parallel_backend:
+        How the EMD engine computes batches of pair distances:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.
+    n_workers:
+        Worker-pool size for ``"thread"``/``"process"``; ``None`` uses the
+        CPU count.
+    lr_inspection_index:
+        Position (0-based) within the test window of the bag ``S_t`` that
+        the ``"lr"`` score compares against both windows (Eq. 16).  The
+        paper uses the first test bag (0); ignored by the ``"kl"`` score.
     weighting:
         ``"uniform"`` (paper's experiments) or ``"discounted"`` (Eq. 15).
     n_bootstrap:
@@ -64,6 +75,9 @@ class DetectorConfig:
     histogram_range: Optional[Sequence] = None
     ground_distance: str = "euclidean"
     emd_backend: str = "auto"
+    parallel_backend: str = "serial"
+    n_workers: Optional[int] = None
+    lr_inspection_index: int = 0
     weighting: str = "uniform"
     n_bootstrap: int = 200
     alpha: float = 0.05
@@ -84,6 +98,17 @@ class DetectorConfig:
         if self.weighting not in _WEIGHTING:
             raise ConfigurationError(
                 f"weighting must be one of {_WEIGHTING}, got {self.weighting!r}"
+            )
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ConfigurationError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, got {self.parallel_backend!r}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError("n_workers must be a positive integer or None")
+        if not 0 <= self.lr_inspection_index < self.tau_test:
+            raise ConfigurationError(
+                f"lr_inspection_index must lie in [0, tau_test={self.tau_test}), "
+                f"got {self.lr_inspection_index}"
             )
         if self.n_bootstrap < 2:
             raise ConfigurationError("n_bootstrap must be at least 2")

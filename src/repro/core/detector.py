@@ -22,7 +22,7 @@ import numpy as np
 
 from .._validation import as_rng
 from ..bootstrap import BayesianBootstrap, percentile_interval
-from ..emd import emd
+from ..emd import BandedDistanceMatrix, PairwiseEMDEngine
 from ..exceptions import ValidationError
 from ..information import resolve_weights
 from ..signatures import Signature, SignatureBuilder
@@ -64,6 +64,12 @@ class BagChangePointDetector:
             raise ValidationError("pass either a DetectorConfig or keyword arguments, not both")
         self.config = config
         self._rng = as_rng(config.random_state)
+        self._engine = PairwiseEMDEngine(
+            ground_distance=config.ground_distance,
+            backend=config.emd_backend,
+            parallel_backend=config.parallel_backend,
+            n_workers=config.n_workers,
+        )
 
     # ------------------------------------------------------------------ #
     # Signature construction
@@ -88,26 +94,15 @@ class BagChangePointDetector:
     # ------------------------------------------------------------------ #
     # Distance computation
     # ------------------------------------------------------------------ #
-    def _banded_distances(self, signatures: Sequence[Signature]) -> np.ndarray:
-        """Pairwise EMD matrix filled only inside the band that windows can reach.
+    def _banded_distances(self, signatures: Sequence[Signature]) -> BandedDistanceMatrix:
+        """Pairwise EMD values inside the band that windows can reach.
 
         Signature ``i`` and ``j`` appear in the same reference/test window
-        only when ``|i − j| < τ + τ′``; entries outside the band stay zero
-        and are never read.
+        only when ``|i − j| < τ + τ′``; only those entries are computed
+        (in batches, through :class:`~repro.emd.PairwiseEMDEngine`) and
+        stored.
         """
-        n = len(signatures)
-        bandwidth = self.config.window_span
-        matrix = np.zeros((n, n), dtype=float)
-        for i in range(n):
-            for j in range(i + 1, min(n, i + bandwidth)):
-                value = emd(
-                    signatures[i],
-                    signatures[j],
-                    ground_distance=self.config.ground_distance,
-                    backend=self.config.emd_backend,
-                )
-                matrix[i, j] = matrix[j, i] = value
-        return matrix
+        return self._engine.banded_matrix(signatures, self.config.window_span)
 
     # ------------------------------------------------------------------ #
     # Main entry point
@@ -154,22 +149,35 @@ class BagChangePointDetector:
         points: List[ScorePoint] = []
 
         for t in range(cfg.tau, n - cfg.tau_test + 1):
-            ref_idx = np.arange(t - cfg.tau, t)
-            test_idx = np.arange(t, t + cfg.tau_test)
+            ref_pairwise, test_pairwise, cross = distance_matrix.window(
+                t - cfg.tau, cfg.tau, cfg.tau_test
+            )
             window = WindowDistances(
-                ref_pairwise=distance_matrix[np.ix_(ref_idx, ref_idx)],
-                test_pairwise=distance_matrix[np.ix_(test_idx, test_idx)],
-                cross=distance_matrix[np.ix_(ref_idx, test_idx)],
+                ref_pairwise=ref_pairwise,
+                test_pairwise=test_pairwise,
+                cross=cross,
             )
             point_score = compute_score(
-                cfg.score, window, ref_base, test_base, config=cfg.estimator
+                cfg.score,
+                window,
+                ref_base,
+                test_base,
+                config=cfg.estimator,
+                inspection_index=cfg.lr_inspection_index,
             )
 
             ref_resampled = bootstrap.resample_weights(cfg.tau, ref_base)
             test_resampled = bootstrap.resample_weights(cfg.tau_test, test_base)
             replicated = np.array(
                 [
-                    compute_score(cfg.score, window, rw, tw, config=cfg.estimator)
+                    compute_score(
+                        cfg.score,
+                        window,
+                        rw,
+                        tw,
+                        config=cfg.estimator,
+                        inspection_index=cfg.lr_inspection_index,
+                    )
                     for rw, tw in zip(ref_resampled, test_resampled)
                 ]
             )
@@ -183,7 +191,7 @@ class BagChangePointDetector:
 
         result = DetectionResult(
             points=points,
-            emd_matrix=distance_matrix if return_distance_matrix else None,
+            emd_matrix=distance_matrix.to_dense() if return_distance_matrix else None,
             metadata={
                 "tau": cfg.tau,
                 "tau_test": cfg.tau_test,

@@ -3,21 +3,28 @@
 Bags are pushed one at a time; a score for inspection point ``t`` can be
 emitted as soon as the τ′-th bag of its test window (i.e. bag
 ``t + τ′ − 1``) has arrived, so the detector reports with an inherent lag
-of τ′ − 1 steps.  Pairwise EMD values are cached and old signatures are
-discarded once they can no longer participate in any window, keeping
-memory bounded by O((τ + τ′)²) distances.
+of τ′ − 1 steps.
+
+Consecutive inspection points share all but one signature, so the
+detector keeps one rolling ``(τ + τ′) × (τ + τ′)`` matrix of pairwise
+EMD values and, on each :meth:`push`, shifts it up-left by one row and
+column (reusing every overlapping entry) and computes only the
+``τ + τ′ − 1`` new distances that involve the arriving bag — batched
+through :class:`~repro.emd.PairwiseEMDEngine`.  Memory stays bounded by
+O((τ + τ′)²) distances.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
 from .._validation import as_rng
 from ..bootstrap import BayesianBootstrap, percentile_interval
-from ..emd import emd
+from ..emd import PairwiseEMDEngine
+from ..exceptions import ValidationError
 from ..information import resolve_weights
 from ..signatures import Signature, SignatureBuilder
 from .config import DetectorConfig
@@ -33,6 +40,8 @@ class OnlineBagDetector:
     ----------
     config:
         Detector configuration (same object as the offline detector).
+        Keyword arguments may be passed instead and are forwarded to the
+        config.
 
     Notes
     -----
@@ -45,6 +54,8 @@ class OnlineBagDetector:
     def __init__(self, config: Optional[DetectorConfig] = None, **kwargs):
         if config is None:
             config = DetectorConfig(**kwargs)
+        elif kwargs:
+            raise ValidationError("pass either a DetectorConfig or keyword arguments, not both")
         self.config = config
         self._rng = as_rng(config.random_state)
         self._builder = SignatureBuilder(
@@ -54,6 +65,12 @@ class OnlineBagDetector:
             histogram_range=config.histogram_range,
             random_state=self._rng,
         )
+        self._engine = PairwiseEMDEngine(
+            ground_distance=config.ground_distance,
+            backend=config.emd_backend,
+            parallel_backend=config.parallel_backend,
+            n_workers=config.n_workers,
+        )
         self._bootstrap = BayesianBootstrap(
             config.n_bootstrap, alpha=config.alpha, rng=self._rng
         )
@@ -61,33 +78,40 @@ class OnlineBagDetector:
         self._ref_base = resolve_weights(config.weighting, config.tau, is_test=False)
         self._test_base = resolve_weights(config.weighting, config.tau_test, is_test=True)
 
-        self._signatures: Deque[Tuple[int, Signature]] = deque(maxlen=config.window_span)
-        self._distances: Dict[Tuple[int, int], float] = {}
+        span = config.window_span
+        self._signatures: Deque[Tuple[int, Signature]] = deque(maxlen=span)
+        # Rolling pairwise-EMD matrix of the signatures currently in the
+        # window: entry (a, b) is the distance between the a-th and b-th
+        # oldest of them.  Shifted, not rebuilt, as the window slides.
+        self._window_matrix = np.zeros((span, span), dtype=float)
         self._next_index = 0
         self._history: List[ScorePoint] = []
 
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
-    def _distance(self, idx_a: int, sig_a: Signature, idx_b: int, sig_b: Signature) -> float:
-        key = (idx_a, idx_b) if idx_a <= idx_b else (idx_b, idx_a)
-        if key not in self._distances:
-            self._distances[key] = emd(
-                sig_a,
-                sig_b,
-                ground_distance=self.config.ground_distance,
-                backend=self.config.emd_backend,
-            )
-        return self._distances[key]
+    def _extend_window_matrix(self, signature: Signature) -> None:
+        """Slide the rolling matrix and add the arriving bag's distances.
 
-    def _prune_cache(self) -> None:
-        """Drop cached distances involving indices that fell out of the window."""
-        if not self._signatures:
-            return
-        oldest = self._signatures[0][0]
-        stale = [key for key in self._distances if key[0] < oldest or key[1] < oldest]
-        for key in stale:
-            del self._distances[key]
+        Computes exactly ``len(window) − 1`` new EMD values (τ + τ′ − 1
+        once the window is full); every other entry of the matrix is
+        reused from the previous step.
+        """
+        span = self.config.window_span
+        if len(self._signatures) == span:
+            # The oldest signature leaves: shift the kept block up-left.
+            self._window_matrix[:-1, :-1] = self._window_matrix[1:, 1:]
+        self._signatures.append((self._next_index, signature))
+        m = len(self._signatures)
+        if m > 1:
+            # Older signature first in each pair, matching the offline
+            # band's (i, j) ordering so both paths agree bit-for-bit.
+            new_distances = self._engine.compute_pairs(
+                [(entry[1], signature) for entry in list(self._signatures)[:-1]]
+            )
+            self._window_matrix[m - 1, : m - 1] = new_distances
+            self._window_matrix[: m - 1, m - 1] = new_distances
+        self._window_matrix[m - 1, m - 1] = 0.0
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -98,6 +122,11 @@ class OnlineBagDetector:
         return self._next_index
 
     @property
+    def n_distance_evaluations(self) -> int:
+        """Total EMD evaluations performed by the engine so far."""
+        return self._engine.n_evaluations
+
+    @property
     def history(self) -> DetectionResult:
         """All score points emitted so far, as a :class:`DetectionResult`."""
         return DetectionResult(points=list(self._history))
@@ -106,47 +135,39 @@ class OnlineBagDetector:
         """Consume one bag; return a score point once the window is full."""
         cfg = self.config
         index = self._next_index
-        self._next_index += 1
         signature = self._builder.build(np.asarray(bag, dtype=float), label=index)
-        self._signatures.append((index, signature))
-        self._prune_cache()
+        self._extend_window_matrix(signature)
+        self._next_index += 1
 
         if len(self._signatures) < cfg.window_span:
             return None
 
-        entries = list(self._signatures)
-        ref_entries = entries[: cfg.tau]
-        test_entries = entries[cfg.tau :]
-        inspection_time = test_entries[0][0]
-
-        ref_pair = np.zeros((cfg.tau, cfg.tau))
-        for i in range(cfg.tau):
-            for j in range(i + 1, cfg.tau):
-                ref_pair[i, j] = ref_pair[j, i] = self._distance(
-                    ref_entries[i][0], ref_entries[i][1], ref_entries[j][0], ref_entries[j][1]
-                )
-        test_pair = np.zeros((cfg.tau_test, cfg.tau_test))
-        for i in range(cfg.tau_test):
-            for j in range(i + 1, cfg.tau_test):
-                test_pair[i, j] = test_pair[j, i] = self._distance(
-                    test_entries[i][0], test_entries[i][1], test_entries[j][0], test_entries[j][1]
-                )
-        cross = np.zeros((cfg.tau, cfg.tau_test))
-        for i in range(cfg.tau):
-            for j in range(cfg.tau_test):
-                cross[i, j] = self._distance(
-                    ref_entries[i][0], ref_entries[i][1], test_entries[j][0], test_entries[j][1]
-                )
-
-        window = WindowDistances(ref_pairwise=ref_pair, test_pairwise=test_pair, cross=cross)
+        inspection_time = self._signatures[cfg.tau][0]
+        window = WindowDistances(
+            ref_pairwise=self._window_matrix[: cfg.tau, : cfg.tau].copy(),
+            test_pairwise=self._window_matrix[cfg.tau :, cfg.tau :].copy(),
+            cross=self._window_matrix[: cfg.tau, cfg.tau :].copy(),
+        )
         point_score = compute_score(
-            cfg.score, window, self._ref_base, self._test_base, config=cfg.estimator
+            cfg.score,
+            window,
+            self._ref_base,
+            self._test_base,
+            config=cfg.estimator,
+            inspection_index=cfg.lr_inspection_index,
         )
         ref_resampled = self._bootstrap.resample_weights(cfg.tau, self._ref_base)
         test_resampled = self._bootstrap.resample_weights(cfg.tau_test, self._test_base)
         replicated = np.array(
             [
-                compute_score(cfg.score, window, rw, tw, config=cfg.estimator)
+                compute_score(
+                    cfg.score,
+                    window,
+                    rw,
+                    tw,
+                    config=cfg.estimator,
+                    inspection_index=cfg.lr_inspection_index,
+                )
                 for rw, tw in zip(ref_resampled, test_resampled)
             ]
         )

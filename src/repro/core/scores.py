@@ -154,12 +154,23 @@ def compute_score(
     test_weights: np.ndarray,
     *,
     config: EstimatorConfig = DEFAULT_CONFIG,
+    inspection_index: int = 0,
 ) -> float:
     """Dispatch to :func:`score_symmetric_kl` (``"kl"``) or
-    :func:`score_likelihood_ratio` (``"lr"``)."""
+    :func:`score_likelihood_ratio` (``"lr"``).
+
+    ``inspection_index`` selects the test bag ``S_t`` of the ``"lr"``
+    score; the ``"kl"`` score does not use it.
+    """
     name = str(kind).lower()
     if name == "kl":
         return score_symmetric_kl(distances, ref_weights, test_weights, config=config)
     if name == "lr":
-        return score_likelihood_ratio(distances, ref_weights, test_weights, config=config)
+        return score_likelihood_ratio(
+            distances,
+            ref_weights,
+            test_weights,
+            config=config,
+            inspection_index=inspection_index,
+        )
     raise ConfigurationError(f"unknown score kind {kind!r}; expected 'kl' or 'lr'")

@@ -1,5 +1,10 @@
 """Earth Mover's Distance between signatures (paper Section 3.2)."""
 
+from .batch import (
+    BandedDistanceMatrix,
+    PairwiseEMDEngine,
+    banded_emd_matrix,
+)
 from .distance import EMDResult, emd, emd_with_flow
 from .ground_distance import (
     GroundDistance,
@@ -21,6 +26,9 @@ from .transportation import (
 )
 
 __all__ = [
+    "BandedDistanceMatrix",
+    "PairwiseEMDEngine",
+    "banded_emd_matrix",
     "EMDResult",
     "emd",
     "emd_with_flow",

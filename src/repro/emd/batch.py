@@ -1,0 +1,369 @@
+"""Banded pairwise-EMD storage and a batched distance engine.
+
+The detector only ever reads EMD values between signatures ``i`` and ``j``
+with ``|i − j| < τ + τ′`` (they can share a reference/test window only
+inside that band), so materialising a dense ``n × n`` matrix wastes both
+memory and — far worse — ``O(n²)`` transportation solves.  This module
+provides the two pieces the detectors build on instead:
+
+* :class:`BandedDistanceMatrix` — stores only the ``O(n · (τ + τ′))``
+  band of the symmetric pairwise matrix, with windowed views for the
+  score computation and a dense export for Fig.-6-style plots;
+* :class:`PairwiseEMDEngine` — computes batches of signature pairs,
+  vectorising the exact 1-D fast path across all eligible pairs at once
+  and optionally farming the remaining transportation solves out to a
+  thread or process pool.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import ConfigurationError, ValidationError
+from ..signatures import Signature
+from .distance import _can_use_1d_fast_path, emd
+from .ground_distance import GroundDistance
+
+PARALLEL_BACKENDS = ("serial", "thread", "process")
+
+
+class BandedDistanceMatrix:
+    """Symmetric ``n × n`` distance matrix stored only inside a band.
+
+    Entries ``(i, j)`` with ``0 < |i − j| < bandwidth`` are stored (the
+    diagonal is implicitly zero); anything further from the diagonal is
+    *out of band* and reading or writing it raises
+    :class:`~repro.exceptions.ValidationError`.  Storage is an
+    ``(n, bandwidth − 1)`` array where column ``k`` holds the distances at
+    offset ``k + 1`` from the diagonal.
+    """
+
+    def __init__(self, n: int, bandwidth: int):
+        self._n = check_positive_int(n, "n")
+        self._bandwidth = check_positive_int(bandwidth, "bandwidth", minimum=2)
+        self._band = np.full((self._n, self._bandwidth - 1), np.nan, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of signatures (rows/columns of the virtual matrix)."""
+        return self._n
+
+    @property
+    def bandwidth(self) -> int:
+        """Band half-width + 1: offsets ``1 … bandwidth − 1`` are stored."""
+        return self._bandwidth
+
+    @property
+    def band(self) -> np.ndarray:
+        """The raw ``(n, bandwidth − 1)`` band storage (read-only view)."""
+        view = self._band.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes used by the band storage."""
+        return int(self._band.nbytes)
+
+    def in_band(self, i: int, j: int) -> bool:
+        """Whether entry ``(i, j)`` is stored (or is the implicit diagonal)."""
+        if not (0 <= i < self._n and 0 <= j < self._n):
+            return False
+        return abs(i - j) < self._bandwidth
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """All stored index pairs ``(i, j)`` with ``i < j``, row-major."""
+        for i in range(self._n):
+            for j in range(i + 1, min(self._n, i + self._bandwidth)):
+                yield i, j
+
+    # ------------------------------------------------------------------ #
+    # Element access
+    # ------------------------------------------------------------------ #
+    def _check_indices(self, i: int, j: int) -> None:
+        if not (0 <= i < self._n and 0 <= j < self._n):
+            raise ValidationError(
+                f"index ({i}, {j}) out of range for a {self._n} x {self._n} matrix"
+            )
+        if abs(i - j) >= self._bandwidth:
+            raise ValidationError(
+                f"entry ({i}, {j}) lies outside the band of width {self._bandwidth}"
+            )
+
+    def __getitem__(self, key: Tuple[int, int]) -> float:
+        i, j = key
+        self._check_indices(i, j)
+        if i == j:
+            return 0.0
+        lo, hi = (i, j) if i < j else (j, i)
+        return float(self._band[lo, hi - lo - 1])
+
+    def __setitem__(self, key: Tuple[int, int], value: float) -> None:
+        i, j = key
+        self._check_indices(i, j)
+        if i == j:
+            raise ValidationError("diagonal entries are fixed at zero")
+        lo, hi = (i, j) if i < j else (j, i)
+        self._band[lo, hi - lo - 1] = float(value)
+
+    # ------------------------------------------------------------------ #
+    # Block access
+    # ------------------------------------------------------------------ #
+    def block(self, rows: Sequence[int], cols: Sequence[int]) -> np.ndarray:
+        """Dense sub-matrix for the given row/column indices.
+
+        Every requested entry must lie inside the band; sliding windows of
+        total length ``τ + τ′ ≤ bandwidth`` always satisfy this.
+        """
+        r = np.asarray(rows, dtype=int)
+        c = np.asarray(cols, dtype=int)
+        if r.size == 0 or c.size == 0:
+            return np.zeros((r.size, c.size), dtype=float)
+        if r.min() < 0 or r.max() >= self._n or c.min() < 0 or c.max() >= self._n:
+            raise ValidationError("block indices out of range")
+        i = r[:, None]
+        j = c[None, :]
+        offset = np.abs(i - j)
+        if np.any(offset >= self._bandwidth):
+            raise ValidationError(
+                f"block reaches outside the band of width {self._bandwidth}"
+            )
+        lo = np.minimum(i, j)
+        values = self._band[lo, np.maximum(offset, 1) - 1]
+        return np.where(offset == 0, 0.0, values)
+
+    def window(
+        self, start: int, n_ref: int, n_test: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three window blocks for an inspection point.
+
+        Returns ``(ref_pairwise, test_pairwise, cross)`` for the reference
+        window ``[start, start + n_ref)`` and the test window
+        ``[start + n_ref, start + n_ref + n_test)``.
+        """
+        ref_idx = np.arange(start, start + n_ref)
+        test_idx = np.arange(start + n_ref, start + n_ref + n_test)
+        return (
+            self.block(ref_idx, ref_idx),
+            self.block(test_idx, test_idx),
+            self.block(ref_idx, test_idx),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Full symmetric ``n × n`` matrix; entries outside the band are zero.
+
+        Unfilled in-band entries export as zero as well, matching the
+        dense-matrix convention used by the Fig. 6 plots.
+        """
+        dense = np.zeros((self._n, self._n), dtype=float)
+        for offset in range(1, self._bandwidth):
+            column = self._band[: self._n - offset, offset - 1]
+            values = np.where(np.isnan(column), 0.0, column)
+            rows = np.arange(self._n - offset)
+            dense[rows, rows + offset] = values
+            dense[rows + offset, rows] = values
+        return dense
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray, bandwidth: int) -> "BandedDistanceMatrix":
+        """Extract the band of an existing dense symmetric matrix."""
+        dense = np.asarray(matrix, dtype=float)
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise ValidationError("matrix must be square")
+        banded = cls(dense.shape[0], bandwidth)
+        for i, j in banded.pairs():
+            banded[i, j] = dense[i, j]
+        return banded
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BandedDistanceMatrix(n={self._n}, bandwidth={self._bandwidth})"
+
+
+# ---------------------------------------------------------------------- #
+# Batched 1-D fast path
+# ---------------------------------------------------------------------- #
+def _batched_wasserstein_1d(pairs: Sequence[Tuple[Signature, Signature]]) -> np.ndarray:
+    """Exact 1-D Wasserstein distance for many signature pairs at once.
+
+    Same quantile-function integral as
+    :func:`repro.emd.one_dimensional.wasserstein_1d`, vectorised across
+    pairs: supports are padded (with zero-weight repeats of the last
+    position, which add only zero-length segments), merged by one batched
+    stable sort, and the CDF gap is integrated with row-wise cumulative
+    sums.
+    """
+    n_pairs = len(pairs)
+    size_a = max(sig_a.size for sig_a, _ in pairs)
+    size_b = max(sig_b.size for _, sig_b in pairs)
+    xa = np.empty((n_pairs, size_a))
+    wa = np.zeros((n_pairs, size_a))
+    xb = np.empty((n_pairs, size_b))
+    wb = np.zeros((n_pairs, size_b))
+    for p, (sig_a, sig_b) in enumerate(pairs):
+        ka, kb = sig_a.size, sig_b.size
+        xa[p, :ka] = sig_a.positions[:, 0]
+        xa[p, ka:] = sig_a.positions[-1, 0]
+        wa[p, :ka] = sig_a.weights / sig_a.total_weight
+        xb[p, :kb] = sig_b.positions[:, 0]
+        xb[p, kb:] = sig_b.positions[-1, 0]
+        wb[p, :kb] = sig_b.weights / sig_b.total_weight
+
+    all_x = np.concatenate([xa, xb], axis=1)
+    sorter = np.argsort(all_x, axis=1, kind="stable")
+    sorted_x = np.take_along_axis(all_x, sorter, axis=1)
+    deltas = np.diff(sorted_x, axis=1)
+
+    wa_ext = np.concatenate([wa, np.zeros_like(wb)], axis=1)
+    wb_ext = np.concatenate([np.zeros_like(wa), wb], axis=1)
+    cdf_a = np.cumsum(np.take_along_axis(wa_ext, sorter, axis=1), axis=1)[:, :-1]
+    cdf_b = np.cumsum(np.take_along_axis(wb_ext, sorter, axis=1), axis=1)[:, :-1]
+    return np.sum(np.abs(cdf_a - cdf_b) * deltas, axis=1)
+
+
+def _emd_pair(args: Tuple[Signature, Signature, GroundDistance, str]) -> float:
+    """Top-level worker so process pools can pickle the call."""
+    sig_a, sig_b, ground_distance, backend = args
+    return emd(sig_a, sig_b, ground_distance=ground_distance, backend=backend)
+
+
+class PairwiseEMDEngine:
+    """Computes EMD over batches of signature pairs.
+
+    Parameters
+    ----------
+    ground_distance, backend:
+        Forwarded to :func:`repro.emd.emd` for every pair.
+    parallel_backend:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.  Pools only
+        engage for pairs that need a transportation solve; the 1-D fast
+        path is already vectorised and always runs in-process.
+    n_workers:
+        Pool size; defaults to the CPU count when a pool backend is
+        selected.
+
+    Attributes
+    ----------
+    n_evaluations:
+        Total number of pair distances computed so far (both paths).
+    n_fast_path:
+        How many of those went through the vectorised 1-D fast path.
+    """
+
+    def __init__(
+        self,
+        *,
+        ground_distance: GroundDistance = "euclidean",
+        backend: str = "auto",
+        parallel_backend: str = "serial",
+        n_workers: Optional[int] = None,
+    ):
+        if parallel_backend not in PARALLEL_BACKENDS:
+            raise ConfigurationError(
+                f"parallel_backend must be one of {PARALLEL_BACKENDS}, got {parallel_backend!r}"
+            )
+        if n_workers is not None:
+            n_workers = check_positive_int(n_workers, "n_workers")
+        self.ground_distance = ground_distance
+        self.backend = backend
+        self.parallel_backend = parallel_backend
+        self.n_workers = n_workers
+        self.n_evaluations = 0
+        self.n_fast_path = 0
+
+    # ------------------------------------------------------------------ #
+    # Pair computation
+    # ------------------------------------------------------------------ #
+    def compute(self, sig_a: Signature, sig_b: Signature) -> float:
+        """Distance for a single pair (counted in the evaluation stats)."""
+        return float(self.compute_pairs([(sig_a, sig_b)])[0])
+
+    def _fast_path_eligible(self, sig_a: Signature, sig_b: Signature) -> bool:
+        return self.backend == "auto" and _can_use_1d_fast_path(
+            sig_a, sig_b, self.ground_distance
+        )
+
+    def _solve_general(self, pairs: List[Tuple[Signature, Signature]]) -> List[float]:
+        jobs = [(a, b, self.ground_distance, self.backend) for a, b in pairs]
+        workers = self.n_workers or os.cpu_count() or 1
+        if self.parallel_backend == "serial" or workers <= 1 or len(jobs) < 2:
+            return [_emd_pair(job) for job in jobs]
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        pool_cls = ThreadPoolExecutor if self.parallel_backend == "thread" else ProcessPoolExecutor
+        try:
+            with pool_cls(max_workers=min(workers, len(jobs))) as pool:
+                return list(pool.map(_emd_pair, jobs, chunksize=8))
+        except (OSError, ValueError, RuntimeError, ImportError, pickle.PicklingError):
+            # Pool creation can fail in restricted environments (no /dev/shm,
+            # forbidden fork, ...) and process pools cannot pickle callable
+            # ground distances; the serial path is always available.
+            return [_emd_pair(job) for job in jobs]
+
+    def compute_pairs(self, pairs: Sequence[Tuple[Signature, Signature]]) -> np.ndarray:
+        """Distances for a batch of pairs, in input order."""
+        pairs = list(pairs)
+        out = np.empty(len(pairs), dtype=float)
+        if not pairs:
+            return out
+        fast = [p for p, (a, b) in enumerate(pairs) if self._fast_path_eligible(a, b)]
+        fast_set = set(fast)
+        general = [p for p in range(len(pairs)) if p not in fast_set]
+        if fast:
+            out[fast] = _batched_wasserstein_1d([pairs[p] for p in fast])
+        if general:
+            out[general] = self._solve_general([pairs[p] for p in general])
+        self.n_evaluations += len(pairs)
+        self.n_fast_path += len(fast)
+        return out
+
+    def distances_from(
+        self, signature: Signature, others: Sequence[Signature]
+    ) -> np.ndarray:
+        """Distances from one signature to each of ``others``."""
+        return self.compute_pairs([(signature, other) for other in others])
+
+    # ------------------------------------------------------------------ #
+    # Matrix construction
+    # ------------------------------------------------------------------ #
+    def banded_matrix(
+        self, signatures: Sequence[Signature], bandwidth: int
+    ) -> BandedDistanceMatrix:
+        """Fill the band of the pairwise matrix over a signature sequence."""
+        banded = BandedDistanceMatrix(max(len(signatures), 1), bandwidth)
+        index_pairs = list(banded.pairs())
+        values = self.compute_pairs(
+            [(signatures[i], signatures[j]) for i, j in index_pairs]
+        )
+        for (i, j), value in zip(index_pairs, values):
+            banded[i, j] = value
+        return banded
+
+
+def banded_emd_matrix(
+    signatures: Sequence[Signature],
+    bandwidth: int,
+    *,
+    ground_distance: GroundDistance = "euclidean",
+    backend: str = "auto",
+    parallel_backend: str = "serial",
+    n_workers: Optional[int] = None,
+) -> BandedDistanceMatrix:
+    """Convenience wrapper: banded pairwise EMD matrix in one call."""
+    engine = PairwiseEMDEngine(
+        ground_distance=ground_distance,
+        backend=backend,
+        parallel_backend=parallel_backend,
+        n_workers=n_workers,
+    )
+    return engine.banded_matrix(signatures, bandwidth)

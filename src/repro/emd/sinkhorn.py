@@ -91,6 +91,17 @@ def sinkhorn_transport(
     if epsilon <= 0:
         raise ValidationError("epsilon must be positive")
 
+    # Zero-weight atoms would give -inf dual potentials (log 0); they carry
+    # no mass, so drop them from the scaling iterations and restore their
+    # (empty) rows/columns in the final plan.
+    support_a = a > 0
+    support_b = b > 0
+    full_shape = cost.shape
+    if not (support_a.all() and support_b.all()):
+        a = a[support_a]
+        b = b[support_b]
+        cost = cost[np.ix_(support_a, support_b)]
+
     positive_costs = cost[cost > 0]
     scale = float(np.median(positive_costs)) if positive_costs.size else 1.0
     regularisation = epsilon * max(scale, 1e-12)
@@ -121,8 +132,13 @@ def sinkhorn_transport(
     plan = np.exp(kernel + f[:, None] / regularisation + g[None, :] / regularisation)
     if not np.all(np.isfinite(plan)):
         raise SolverError("Sinkhorn iterations diverged; increase epsilon")
+    distance = float(np.sum(plan * cost))
+    if plan.shape != full_shape:
+        full_plan = np.zeros(full_shape, dtype=float)
+        full_plan[np.ix_(support_a, support_b)] = plan
+        plan = full_plan
     return SinkhornResult(
-        distance=float(np.sum(plan * cost)),
+        distance=distance,
         plan=plan,
         iterations=iteration,
         converged=converged,

@@ -1,0 +1,306 @@
+"""Tests for the banded EMD engine and offline/online detector parity.
+
+The parity tests follow the skchange change-detector test idiom: one
+parametrized test per invariant, run across the detector family
+(score x weighting variants), asserting that the banded/incremental
+machinery is observationally identical to the reference computation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BagChangePointDetector,
+    DetectorConfig,
+    OnlineBagDetector,
+    WindowDistances,
+    compute_score,
+    score_likelihood_ratio,
+)
+from repro.emd import (
+    BandedDistanceMatrix,
+    PairwiseEMDEngine,
+    banded_emd_matrix,
+    emd,
+    emd_matrix,
+)
+from repro.emd.one_dimensional import wasserstein_1d
+from repro.exceptions import ConfigurationError, ValidationError
+from repro.signatures import Signature
+
+detector_variants = [
+    {"score": "kl", "weighting": "uniform"},
+    {"score": "kl", "weighting": "discounted"},
+    {"score": "lr", "weighting": "uniform"},
+    {"score": "lr", "weighting": "discounted"},
+]
+
+
+def make_signatures(rng, n=12, size=8, dim=2, offset_after=None):
+    sigs = []
+    for i in range(n):
+        offset = 3.0 if offset_after is not None and i >= offset_after else 0.0
+        sigs.append(
+            Signature(rng.normal(offset, 1.0, size=(size, dim)), np.ones(size), label=i)
+        )
+    return sigs
+
+
+class TestBandedDistanceMatrix:
+    def test_set_get_roundtrip_symmetric(self):
+        banded = BandedDistanceMatrix(6, 3)
+        banded[1, 2] = 4.5
+        assert banded[1, 2] == 4.5
+        assert banded[2, 1] == 4.5
+
+    def test_diagonal_is_zero(self):
+        banded = BandedDistanceMatrix(4, 2)
+        assert banded[2, 2] == 0.0
+
+    def test_diagonal_write_rejected(self):
+        banded = BandedDistanceMatrix(4, 2)
+        with pytest.raises(ValidationError):
+            banded[1, 1] = 1.0
+
+    def test_out_of_band_access_rejected(self):
+        banded = BandedDistanceMatrix(6, 3)
+        with pytest.raises(ValidationError):
+            banded[0, 3]
+        with pytest.raises(ValidationError):
+            banded[0, 3] = 1.0
+
+    def test_out_of_range_rejected(self):
+        banded = BandedDistanceMatrix(4, 2)
+        with pytest.raises(ValidationError):
+            banded[0, 4]
+
+    def test_block_outside_band_rejected(self):
+        banded = BandedDistanceMatrix(10, 3)
+        with pytest.raises(ValidationError):
+            banded.block([0, 1], [4, 5])
+
+    def test_storage_is_linear_in_n(self):
+        banded = BandedDistanceMatrix(1000, 11)
+        assert banded.band.shape == (1000, 10)
+        dense_bytes = 1000 * 1000 * 8
+        assert banded.nbytes < dense_bytes / 10
+
+    def test_from_dense_to_dense_roundtrip(self, rng):
+        sym = rng.uniform(1, 2, size=(7, 7))
+        sym = (sym + sym.T) / 2.0
+        np.fill_diagonal(sym, 0.0)
+        banded = BandedDistanceMatrix.from_dense(sym, 3)
+        dense = banded.to_dense()
+        for i in range(7):
+            for j in range(7):
+                expected = sym[i, j] if abs(i - j) < 3 else 0.0
+                assert dense[i, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_window_matches_dense_blocks(self, rng):
+        sigs = make_signatures(rng, n=10)
+        dense = emd_matrix(sigs)
+        banded = BandedDistanceMatrix.from_dense(dense, 6)
+        ref, test, cross = banded.window(2, 3, 3)
+        ref_idx, test_idx = np.arange(2, 5), np.arange(5, 8)
+        assert np.allclose(ref, dense[np.ix_(ref_idx, ref_idx)], atol=1e-12)
+        assert np.allclose(test, dense[np.ix_(test_idx, test_idx)], atol=1e-12)
+        assert np.allclose(cross, dense[np.ix_(ref_idx, test_idx)], atol=1e-12)
+
+
+class TestPairwiseEMDEngine:
+    def test_matches_scalar_emd_general_path(self, rng):
+        sigs = make_signatures(rng, n=6)
+        engine = PairwiseEMDEngine()
+        pairs = [(sigs[i], sigs[j]) for i in range(6) for j in range(i + 1, 6)]
+        values = engine.compute_pairs(pairs)
+        expected = [emd(a, b) for a, b in pairs]
+        assert np.allclose(values, expected, atol=1e-10)
+        assert engine.n_evaluations == len(pairs)
+        assert engine.n_fast_path == 0  # 2-D signatures take the LP path
+
+    def test_vectorised_1d_fast_path_matches_oracle(self, rng):
+        sigs = [
+            Signature(rng.normal(size=(k, 1)), rng.uniform(0.5, 2.0, k)).normalized()
+            for k in (5, 8, 6, 7, 9)
+        ]
+        engine = PairwiseEMDEngine()
+        pairs = [(sigs[i], sigs[j]) for i in range(5) for j in range(i + 1, 5)]
+        values = engine.compute_pairs(pairs)
+        expected = [
+            wasserstein_1d(a.positions[:, 0], a.weights, b.positions[:, 0], b.weights)
+            for a, b in pairs
+        ]
+        assert np.allclose(values, expected, atol=1e-10)
+        assert engine.n_fast_path == len(pairs)
+
+    def test_fast_path_disabled_for_explicit_backend(self, rng):
+        sigs = [
+            Signature(rng.normal(size=(5, 1)), np.ones(5)) for _ in range(3)
+        ]
+        engine = PairwiseEMDEngine(backend="linprog")
+        engine.compute_pairs([(sigs[0], sigs[1]), (sigs[1], sigs[2])])
+        assert engine.n_fast_path == 0
+
+    @pytest.mark.parametrize("parallel_backend", ["thread", "process"])
+    def test_parallel_backends_match_serial(self, rng, parallel_backend):
+        sigs = make_signatures(rng, n=8)
+        serial = PairwiseEMDEngine().banded_matrix(sigs, 4)
+        parallel = PairwiseEMDEngine(
+            parallel_backend=parallel_backend, n_workers=2
+        ).banded_matrix(sigs, 4)
+        assert np.allclose(serial.to_dense(), parallel.to_dense(), atol=1e-10)
+
+    def test_invalid_parallel_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseEMDEngine(parallel_backend="gpu")
+
+    def test_empty_pair_batch(self):
+        assert PairwiseEMDEngine().compute_pairs([]).size == 0
+
+
+class TestBandedVsDense:
+    @pytest.mark.parametrize("bandwidth", [3, 5, 11])
+    def test_band_agrees_with_dense_matrix(self, rng, bandwidth):
+        sigs = make_signatures(rng, n=11, offset_after=6)
+        dense = emd_matrix(sigs)
+        banded = banded_emd_matrix(sigs, bandwidth)
+        exported = banded.to_dense()
+        n = len(sigs)
+        for i in range(n):
+            for j in range(n):
+                if abs(i - j) < bandwidth:
+                    assert exported[i, j] == pytest.approx(dense[i, j], abs=1e-10)
+                else:
+                    assert exported[i, j] == 0.0
+
+    def test_band_computes_only_band_pairs(self, rng):
+        sigs = make_signatures(rng, n=20)
+        engine = PairwiseEMDEngine()
+        engine.banded_matrix(sigs, 5)
+        expected = sum(min(20, i + 5) - (i + 1) for i in range(20))
+        assert engine.n_evaluations == expected
+
+    def test_detect_returns_symmetric_dense_export(self, rng):
+        bags = [rng.normal(size=(20, 2)) for _ in range(10)]
+        config = DetectorConfig(
+            tau=3, tau_test=3, signature_method="exact", n_bootstrap=20, random_state=0
+        )
+        result = BagChangePointDetector(config).detect(bags, return_distance_matrix=True)
+        assert result.emd_matrix.shape == (10, 10)
+        assert np.allclose(result.emd_matrix, result.emd_matrix.T)
+
+
+class TestOfflineOnlineParity:
+    @pytest.mark.parametrize("variant", detector_variants)
+    def test_identical_score_point_sequences(self, rng, variant):
+        """Same bags => identical ScorePoint sequences, field by field."""
+        bags = [rng.normal(0, 1, size=(15, 2)) for _ in range(7)]
+        bags += [rng.normal(3, 1, size=(15, 2)) for _ in range(7)]
+        cfg = dict(
+            tau=3, tau_test=3, signature_method="exact", n_bootstrap=30,
+            random_state=7, **variant,
+        )
+        offline = BagChangePointDetector(DetectorConfig(**cfg)).detect(bags)
+        online_points = OnlineBagDetector(DetectorConfig(**cfg)).push_many(bags)
+        assert len(online_points) == len(offline.points)
+        for off, on in zip(offline.points, online_points):
+            assert off.time == on.time
+            assert off.score == pytest.approx(on.score, abs=1e-10)
+            assert off.interval.lower == pytest.approx(on.interval.lower, abs=1e-10)
+            assert off.interval.upper == pytest.approx(on.interval.upper, abs=1e-10)
+            if np.isnan(off.gamma):
+                assert np.isnan(on.gamma)
+            else:
+                assert off.gamma == pytest.approx(on.gamma, abs=1e-10)
+            assert off.alert == on.alert
+
+    def test_parity_with_1d_fast_path(self, rng):
+        bags = [rng.normal(0, 1, size=(12, 1)) for _ in range(6)]
+        bags += [rng.normal(4, 1, size=(12, 1)) for _ in range(6)]
+        cfg = dict(
+            tau=3, tau_test=3, signature_method="histogram", bins=16,
+            histogram_range=(-6.0, 10.0), n_bootstrap=20, random_state=1,
+        )
+        offline = BagChangePointDetector(DetectorConfig(**cfg)).detect(bags)
+        online_points = OnlineBagDetector(DetectorConfig(**cfg)).push_many(bags)
+        for off, on in zip(offline.points, online_points):
+            assert off.score == pytest.approx(on.score, abs=1e-10)
+
+    def test_online_push_cost_is_exactly_span_minus_one(self, rng):
+        """After warm-up each push performs exactly tau + tau' - 1 EMDs."""
+        config = DetectorConfig(
+            tau=3, tau_test=4, signature_method="exact", n_bootstrap=20, random_state=0
+        )
+        detector = OnlineBagDetector(config)
+        span = config.window_span
+        previous = 0
+        for k in range(3 * span):
+            detector.push(rng.normal(size=(10, 2)))
+            delta = detector.n_distance_evaluations - previous
+            previous = detector.n_distance_evaluations
+            assert delta == min(k, span - 1)
+
+
+class TestInspectionIndexPlumbing:
+    def _window(self, rng):
+        ref = [Signature(rng.normal(0, 1, size=(8, 2)), np.ones(8)) for _ in range(3)]
+        test = [Signature(rng.normal(2, 1, size=(8, 2)), np.ones(8)) for _ in range(3)]
+        from repro.emd import cross_emd_matrix
+
+        return WindowDistances(
+            ref_pairwise=emd_matrix(ref),
+            test_pairwise=emd_matrix(test),
+            cross=cross_emd_matrix(ref, test),
+        )
+
+    def test_compute_score_forwards_inspection_index(self, rng):
+        window = self._window(rng)
+        weights = np.full(3, 1.0 / 3.0)
+        for k in range(3):
+            via_dispatch = compute_score(
+                "lr", window, weights, weights, inspection_index=k
+            )
+            direct = score_likelihood_ratio(
+                window, weights, weights, inspection_index=k
+            )
+            assert via_dispatch == pytest.approx(direct, abs=1e-12)
+
+    def test_detector_uses_configured_index(self, rng):
+        bags = [rng.normal(0, 1, size=(15, 2)) for _ in range(6)]
+        bags += [rng.normal(3, 1, size=(15, 2)) for _ in range(6)]
+        base = dict(
+            tau=3, tau_test=3, score="lr", signature_method="exact",
+            n_bootstrap=20, random_state=0,
+        )
+        default = BagChangePointDetector(DetectorConfig(**base)).detect(bags)
+        shifted = BagChangePointDetector(
+            DetectorConfig(lr_inspection_index=2, **base)
+        ).detect(bags)
+        assert not np.allclose(default.scores, shifted.scores)
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(tau_test=3, lr_inspection_index=3)
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(lr_inspection_index=-1)
+
+
+class TestEngineConfigValidation:
+    def test_invalid_parallel_backend_in_config(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(parallel_backend="gpu")
+
+    def test_invalid_worker_count_in_config(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(n_workers=0)
+
+    def test_threaded_detector_matches_serial(self, rng):
+        bags = [rng.normal(0, 1, size=(12, 2)) for _ in range(10)]
+        base = dict(
+            tau=3, tau_test=3, signature_method="exact", n_bootstrap=20, random_state=4
+        )
+        serial = BagChangePointDetector(DetectorConfig(**base)).detect(bags)
+        threaded = BagChangePointDetector(
+            DetectorConfig(parallel_backend="thread", n_workers=2, **base)
+        ).detect(bags)
+        assert np.allclose(serial.scores, threaded.scores, atol=1e-10)

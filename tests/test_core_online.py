@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import BagChangePointDetector, DetectorConfig, OnlineBagDetector
+from repro.exceptions import ValidationError
 
 
 class TestOnlineBagDetector:
@@ -59,12 +60,18 @@ class TestOnlineBagDetector:
         for point in emitted:
             assert point.score == pytest.approx(offline_scores[point.time], rel=1e-9)
 
-    def test_cache_is_pruned(self, rng, fast_config):
+    def test_memory_stays_bounded(self, rng, fast_config):
         detector = OnlineBagDetector(fast_config)
         detector.push_many([rng.normal(size=(10, 2)) for _ in range(30)])
-        # The distance cache should stay bounded by the window span.
-        max_pairs = fast_config.window_span * (fast_config.window_span + 1)
-        assert len(detector._distances) <= max_pairs
+        # The rolling distance matrix is the only distance storage and its
+        # size is fixed by the window span, regardless of stream length.
+        span = fast_config.window_span
+        assert detector._window_matrix.shape == (span, span)
+        assert len(detector._signatures) == span
+
+    def test_config_and_kwargs_mutually_exclusive(self, fast_config):
+        with pytest.raises(ValidationError):
+            OnlineBagDetector(fast_config, tau=3)
 
     def test_kwargs_constructor(self, rng):
         detector = OnlineBagDetector(tau=3, tau_test=3, n_bootstrap=20,

@@ -41,6 +41,30 @@ class TestSinkhornTransport:
         tight = sinkhorn_transport(cost, a, b, epsilon=0.01).distance
         assert tight <= loose + 1e-9
 
+    def test_zero_weight_atom_is_dropped(self, rng):
+        # A zero-weight atom must not poison the log-domain potentials
+        # (log 0 = -inf used to surface as a spurious SolverError).
+        cost = rng.uniform(0.5, 5, size=(4, 3))
+        a = np.array([1.0, 0.0, 2.0, 1.0])
+        b = np.ones(3)
+        result = sinkhorn_transport(cost, a, b, epsilon=0.05)
+        assert np.all(np.isfinite(result.plan))
+        assert result.plan.shape == (4, 3)
+        assert np.allclose(result.plan[1, :], 0.0)
+        # Equivalent to solving without the empty atom.
+        reduced = sinkhorn_transport(cost[[0, 2, 3], :], a[[0, 2, 3]], b, epsilon=0.05)
+        assert result.distance == pytest.approx(reduced.distance, abs=1e-9)
+
+    def test_zero_weight_atoms_on_both_sides(self, rng):
+        cost = rng.uniform(0.5, 5, size=(3, 4))
+        result = sinkhorn_transport(
+            cost, np.array([1.0, 0.0, 1.0]), np.array([0.0, 1.0, 1.0, 1.0])
+        )
+        assert result.plan.shape == (3, 4)
+        assert np.allclose(result.plan[1, :], 0.0)
+        assert np.allclose(result.plan[:, 0], 0.0)
+        assert np.allclose(result.plan.sum(), 1.0, atol=1e-5)
+
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValidationError):
             sinkhorn_transport(np.ones((2, 2)), np.ones(3), np.ones(2))
