@@ -79,11 +79,11 @@ def main(argv=None) -> int:
     )
     rows.append((label, serial_engine.n_evaluations, banded_time))
 
-    threaded_engine = PairwiseEMDEngine(parallel_backend="thread", n_workers=args.workers)
-    label, threaded_time, _ = timed(
-        "banded+threads", lambda: threaded_engine.banded_matrix(signatures, bandwidth)
-    )
-    rows.append((label, threaded_engine.n_evaluations, threaded_time))
+    with PairwiseEMDEngine(parallel_backend="thread", n_workers=args.workers) as threaded_engine:
+        label, threaded_time, _ = timed(
+            "banded+threads", lambda: threaded_engine.banded_matrix(signatures, bandwidth)
+        )
+        rows.append((label, threaded_engine.n_evaluations, threaded_time))
 
     print(f"\n{n_bags} bags, band width {bandwidth}, {args.workers} workers")
     print(f"{'method':<16}{'EMD solves':>12}{'seconds':>10}{'speed-up':>10}")

@@ -1,0 +1,150 @@
+"""Benchmark: looped vs batched Bayesian-bootstrap interval computation.
+
+The seed implementation computed each inspection point's confidence
+interval with ``n_bootstrap`` scalar ``compute_score`` calls, every one of
+them re-validating and re-logging the same window distance matrices.  The
+:class:`repro.core.ScoreEngine` stacks the point score and all replicates
+into one ``(B + 1, τ)`` weight matrix and reduces the whole stack with
+matmul/einsum against log matrices computed once per window.
+
+This benchmark prepares the banded EMD matrix for a bag sequence once,
+then times only the interval stage both ways for B in {100, 500, 1000}
+and checks the two paths produce the same intervals.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_bootstrap_scoring.py          # 200 bags
+    PYTHONPATH=src python benchmarks/bench_bootstrap_scoring.py --quick  # CI smoke
+
+In full mode the script exits non-zero unless the batched path is at
+least ``--threshold`` times faster at B = 500.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bootstrap import BayesianBootstrap, percentile_interval
+from repro.core import DetectorConfig, ScoreEngine, WindowDistances, compute_score
+from repro.datasets import make_confidence_interval_dataset
+from repro.emd import PairwiseEMDEngine
+from repro.information import resolve_weights
+from repro.signatures import SignatureBuilder
+
+
+def build_windows(n_bags, bag_size, tau, tau_test, seed):
+    """Signatures -> banded EMD matrix -> one WindowDistances per point."""
+    dataset = make_confidence_interval_dataset(
+        4, n_bags=n_bags, mean_bag_size=bag_size, random_state=seed
+    )
+    builder = SignatureBuilder("kmeans", n_clusters=6, random_state=seed)
+    signatures = builder.build_sequence(dataset.bags)
+    banded = PairwiseEMDEngine().banded_matrix(signatures, tau + tau_test)
+    windows = []
+    for t in range(tau, len(signatures) - tau_test + 1):
+        ref, test, cross = banded.window(t - tau, tau, tau_test)
+        windows.append(WindowDistances(ref_pairwise=ref, test_pairwise=test, cross=cross))
+    return windows
+
+
+def looped_intervals(windows, score, tau, tau_test, n_bootstrap, alpha, seed):
+    """The seed implementation: one scalar compute_score call per replicate."""
+    ref_base = resolve_weights("uniform", tau, is_test=False)
+    test_base = resolve_weights("uniform", tau_test, is_test=True)
+    bootstrap = BayesianBootstrap(n_bootstrap, alpha=alpha, rng=np.random.default_rng(seed))
+    intervals = []
+    for window in windows:
+        point = compute_score(score, window, ref_base, test_base)
+        ref_w = bootstrap.resample_weights(tau, ref_base)
+        test_w = bootstrap.resample_weights(tau_test, test_base)
+        replicated = np.array(
+            [compute_score(score, window, a, b) for a, b in zip(ref_w, test_w)]
+        )
+        intervals.append(percentile_interval(replicated, alpha, point=point))
+    return intervals
+
+
+def batched_intervals(windows, score, tau, tau_test, n_bootstrap, alpha, seed):
+    """The ScoreEngine path: all replicates in one array contraction."""
+    config = DetectorConfig(
+        tau=tau, tau_test=tau_test, score=score, n_bootstrap=n_bootstrap, alpha=alpha
+    )
+    engine = ScoreEngine(config, rng=np.random.default_rng(seed))
+    return [engine.point_and_interval(window)[1] for window in windows]
+
+
+def max_interval_difference(a, b):
+    return max(
+        max(abs(x.lower - y.lower), abs(x.upper - y.upper), abs(x.point - y.point))
+        for x, y in zip(a, b)
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bags", type=int, default=200, help="sequence length")
+    parser.add_argument("--bag-size", type=float, default=40.0, help="mean points per bag")
+    parser.add_argument("--tau", type=int, default=5)
+    parser.add_argument("--tau-test", type=int, default=5)
+    parser.add_argument("--score", choices=("kl", "lr"), default="kl")
+    parser.add_argument("--alpha", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="minimum batched-vs-looped speed-up required at B=500 in full mode",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small problem for CI smoke runs; reports but does not enforce the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    n_bags = 60 if args.quick else args.bags
+    bag_size = 20.0 if args.quick else args.bag_size
+    replicate_counts = (50, 100) if args.quick else (100, 500, 1000)
+
+    windows = build_windows(n_bags, bag_size, args.tau, args.tau_test, args.seed)
+    print(f"\n{n_bags} bags -> {len(windows)} inspection points, "
+          f"tau={args.tau}, tau'={args.tau_test}, score={args.score}")
+    print(f"{'B':>6}{'looped s':>12}{'batched s':>12}{'speed-up':>10}{'max |diff|':>12}")
+
+    speedups = {}
+    for n_bootstrap in replicate_counts:
+        start = time.perf_counter()
+        looped = looped_intervals(
+            windows, args.score, args.tau, args.tau_test, n_bootstrap, args.alpha, args.seed
+        )
+        looped_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        batched = batched_intervals(
+            windows, args.score, args.tau, args.tau_test, n_bootstrap, args.alpha, args.seed
+        )
+        batched_time = time.perf_counter() - start
+
+        diff = max_interval_difference(looped, batched)
+        speedup = looped_time / batched_time if batched_time > 0 else float("inf")
+        speedups[n_bootstrap] = speedup
+        print(f"{n_bootstrap:>6}{looped_time:>12.3f}{batched_time:>12.3f}"
+              f"{speedup:>10.2f}x{diff:>12.2e}")
+        if diff > 1e-9:
+            print(f"FAIL: batched intervals diverge from looped ones by {diff:.2e}")
+            return 1
+
+    if not args.quick:
+        gate = speedups.get(500, 0.0)
+        if gate < args.threshold:
+            print(f"FAIL: batched speed-up {gate:.2f}x at B=500 below threshold {args.threshold}x")
+            return 1
+        print(f"OK: batched interval stage {gate:.2f}x faster than looped at B=500")
+    else:
+        print("OK: quick smoke run (threshold not enforced)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ from .core import (
     DetectionResult,
     DetectorConfig,
     OnlineBagDetector,
+    ScoreEngine,
     ScorePoint,
 )
 from .emd import emd, emd_matrix, emd_with_flow
@@ -52,6 +53,7 @@ __all__ = [
     "DetectorConfig",
     "DetectionResult",
     "ScorePoint",
+    "ScoreEngine",
     "Signature",
     "SignatureBuilder",
     "build_signature",

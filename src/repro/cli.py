@@ -120,8 +120,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         alpha=args.alpha,
         random_state=args.seed,
     )
-    detector = BagChangePointDetector(config)
-    result = detector.detect(bags)
+    with BagChangePointDetector(config) as detector:
+        result = detector.detect(bags)
 
     rows = result.to_dict()
     header = ["time", "score", "lower", "upper", "gamma", "alert"]

@@ -5,11 +5,16 @@ from .config import DetectorConfig
 from .detector import BagChangePointDetector
 from .online import OnlineBagDetector
 from .results import DetectionResult, ScorePoint
+from .score_engine import ScoreEngine
 from .scores import (
+    LogWindowDistances,
     WindowDistances,
     compute_score,
+    score_batch,
     score_likelihood_ratio,
+    score_likelihood_ratio_batch,
     score_symmetric_kl,
+    score_symmetric_kl_batch,
 )
 from .segmentation import Segment, merge_close_alarms, segment_from_result, segment_stream
 from .thresholding import AdaptiveThreshold, apply_threshold, gamma_statistic, is_significant
@@ -27,9 +32,14 @@ __all__ = [
     "segment_from_result",
     "merge_close_alarms",
     "WindowDistances",
+    "LogWindowDistances",
+    "ScoreEngine",
     "compute_score",
+    "score_batch",
     "score_likelihood_ratio",
+    "score_likelihood_ratio_batch",
     "score_symmetric_kl",
+    "score_symmetric_kl_batch",
     "AdaptiveThreshold",
     "apply_threshold",
     "gamma_statistic",

@@ -9,7 +9,9 @@ sequence of bags:
    the full pairwise matrix is needed;
 3. at each inspection point ``t`` compute the change-point score
    (Section 3.3) and its Bayesian-bootstrap confidence interval
-   (Section 4.2);
+   (Section 4.2) through the batched
+   :class:`~repro.core.score_engine.ScoreEngine` — the point score and
+   all replicates share one log transform and one array contraction;
 4. apply the adaptive interval-overlap test to decide where alerts are
    raised (Section 4.1).
 """
@@ -21,15 +23,14 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from .._validation import as_rng
-from ..bootstrap import BayesianBootstrap, percentile_interval
 from ..emd import BandedDistanceMatrix, PairwiseEMDEngine
 from ..exceptions import ValidationError
-from ..information import resolve_weights
 from ..signatures import Signature, SignatureBuilder
 from .bag import BagSequence
 from .config import DetectorConfig
 from .results import DetectionResult, ScorePoint
-from .scores import WindowDistances, compute_score
+from .score_engine import ScoreEngine
+from .scores import WindowDistances
 from .thresholding import AdaptiveThreshold
 
 BagsInput = Union[BagSequence, Sequence[np.ndarray], Sequence[Signature]]
@@ -70,6 +71,24 @@ class BagChangePointDetector:
             parallel_backend=config.parallel_backend,
             n_workers=config.n_workers,
         )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the EMD engine's worker pool (idempotent).
+
+        Only needed when ``parallel_backend`` is ``"thread"``/``"process"``
+        — the engine keeps its pool alive across calls; a closed detector
+        cannot ``detect`` again.
+        """
+        self._engine.close()
+
+    def __enter__(self) -> "BagChangePointDetector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Signature construction
@@ -139,12 +158,7 @@ class BagChangePointDetector:
             )
 
         distance_matrix = self._banded_distances(signatures)
-        ref_base = resolve_weights(cfg.weighting, cfg.tau, is_test=False)
-        test_base = resolve_weights(cfg.weighting, cfg.tau_test, is_test=True)
-
-        bootstrap = BayesianBootstrap(
-            cfg.n_bootstrap, alpha=cfg.alpha, rng=self._rng
-        )
+        score_engine = ScoreEngine(cfg, rng=self._rng)
         threshold = AdaptiveThreshold(cfg.tau_test)
         points: List[ScorePoint] = []
 
@@ -157,31 +171,7 @@ class BagChangePointDetector:
                 test_pairwise=test_pairwise,
                 cross=cross,
             )
-            point_score = compute_score(
-                cfg.score,
-                window,
-                ref_base,
-                test_base,
-                config=cfg.estimator,
-                inspection_index=cfg.lr_inspection_index,
-            )
-
-            ref_resampled = bootstrap.resample_weights(cfg.tau, ref_base)
-            test_resampled = bootstrap.resample_weights(cfg.tau_test, test_base)
-            replicated = np.array(
-                [
-                    compute_score(
-                        cfg.score,
-                        window,
-                        rw,
-                        tw,
-                        config=cfg.estimator,
-                        inspection_index=cfg.lr_inspection_index,
-                    )
-                    for rw, tw in zip(ref_resampled, test_resampled)
-                ]
-            )
-            interval = percentile_interval(replicated, cfg.alpha, point=point_score)
+            point_score, interval = score_engine.point_and_interval(window)
             gamma, alert = threshold.update(t, interval)
             points.append(
                 ScorePoint(

@@ -12,6 +12,12 @@ column (reusing every overlapping entry) and computes only the
 ``τ + τ′ − 1`` new distances that involve the arriving bag — batched
 through :class:`~repro.emd.PairwiseEMDEngine`.  Memory stays bounded by
 O((τ + τ′)²) distances.
+
+Scoring is delegated to the batched
+:class:`~repro.core.score_engine.ScoreEngine`.  A second rolling matrix
+holds the *clipped-and-logged* distances (the only form the estimators
+consume), so each push logs just the ``τ + τ′ − 1`` arriving values and
+every inspection point reuses the logged entries of all previous pushes.
 """
 
 from __future__ import annotations
@@ -22,14 +28,13 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from .._validation import as_rng
-from ..bootstrap import BayesianBootstrap, percentile_interval
 from ..emd import PairwiseEMDEngine
 from ..exceptions import ValidationError
-from ..information import resolve_weights
 from ..signatures import Signature, SignatureBuilder
 from .config import DetectorConfig
 from .results import DetectionResult, ScorePoint
-from .scores import WindowDistances, compute_score
+from .score_engine import ScoreEngine
+from .scores import LogWindowDistances
 from .thresholding import AdaptiveThreshold
 
 
@@ -71,12 +76,8 @@ class OnlineBagDetector:
             parallel_backend=config.parallel_backend,
             n_workers=config.n_workers,
         )
-        self._bootstrap = BayesianBootstrap(
-            config.n_bootstrap, alpha=config.alpha, rng=self._rng
-        )
+        self._score_engine = ScoreEngine(config, rng=self._rng)
         self._threshold = AdaptiveThreshold(config.tau_test)
-        self._ref_base = resolve_weights(config.weighting, config.tau, is_test=False)
-        self._test_base = resolve_weights(config.weighting, config.tau_test, is_test=True)
 
         span = config.window_span
         self._signatures: Deque[Tuple[int, Signature]] = deque(maxlen=span)
@@ -84,8 +85,31 @@ class OnlineBagDetector:
         # window: entry (a, b) is the distance between the a-th and b-th
         # oldest of them.  Shifted, not rebuilt, as the window slides.
         self._window_matrix = np.zeros((span, span), dtype=float)
+        # Rolling clipped-and-logged copy of the same matrix: each push
+        # logs only the arriving row/column, so inspection points never
+        # re-log distances carried over from previous pushes.
+        self._log_floor = float(np.log(config.estimator.min_distance))
+        self._log_matrix = np.full((span, span), self._log_floor, dtype=float)
         self._next_index = 0
         self._history: List[ScorePoint] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the EMD engine's worker pool (idempotent).
+
+        Only needed when ``parallel_backend`` is ``"thread"``/``"process"``
+        — the engine keeps its pool alive across pushes; a closed detector
+        cannot ``push`` again.
+        """
+        self._engine.close()
+
+    def __enter__(self) -> "OnlineBagDetector":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Internal helpers
@@ -98,20 +122,34 @@ class OnlineBagDetector:
         reused from the previous step.
         """
         span = self.config.window_span
+        # Compute the arriving bag's distances before touching any state,
+        # so a failed solve leaves the detector consistent and the push
+        # retryable.  When the window is full its oldest signature is about
+        # to leave and needs no distance.  Older signature first in each
+        # pair, matching the offline band's (i, j) ordering so both paths
+        # agree bit-for-bit.
+        staying = list(self._signatures)
+        if len(staying) == span:
+            staying = staying[1:]
+        new_distances = self._engine.compute_pairs(
+            [(entry[1], signature) for entry in staying]
+        )
         if len(self._signatures) == span:
-            # The oldest signature leaves: shift the kept block up-left.
+            # The oldest signature leaves: shift the kept blocks up-left.
             self._window_matrix[:-1, :-1] = self._window_matrix[1:, 1:]
+            self._log_matrix[:-1, :-1] = self._log_matrix[1:, 1:]
         self._signatures.append((self._next_index, signature))
         m = len(self._signatures)
         if m > 1:
-            # Older signature first in each pair, matching the offline
-            # band's (i, j) ordering so both paths agree bit-for-bit.
-            new_distances = self._engine.compute_pairs(
-                [(entry[1], signature) for entry in list(self._signatures)[:-1]]
-            )
             self._window_matrix[m - 1, : m - 1] = new_distances
             self._window_matrix[: m - 1, m - 1] = new_distances
+            new_logs = np.log(
+                np.maximum(new_distances, self.config.estimator.min_distance)
+            )
+            self._log_matrix[m - 1, : m - 1] = new_logs
+            self._log_matrix[: m - 1, m - 1] = new_logs
         self._window_matrix[m - 1, m - 1] = 0.0
+        self._log_matrix[m - 1, m - 1] = self._log_floor
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -143,35 +181,13 @@ class OnlineBagDetector:
             return None
 
         inspection_time = self._signatures[cfg.tau][0]
-        window = WindowDistances(
-            ref_pairwise=self._window_matrix[: cfg.tau, : cfg.tau].copy(),
-            test_pairwise=self._window_matrix[cfg.tau :, cfg.tau :].copy(),
-            cross=self._window_matrix[: cfg.tau, cfg.tau :].copy(),
-        )
-        point_score = compute_score(
-            cfg.score,
-            window,
-            self._ref_base,
-            self._test_base,
+        log_window = LogWindowDistances(
+            ref_log=self._log_matrix[: cfg.tau, : cfg.tau].copy(),
+            test_log=self._log_matrix[cfg.tau :, cfg.tau :].copy(),
+            cross_log=self._log_matrix[: cfg.tau, cfg.tau :].copy(),
             config=cfg.estimator,
-            inspection_index=cfg.lr_inspection_index,
         )
-        ref_resampled = self._bootstrap.resample_weights(cfg.tau, self._ref_base)
-        test_resampled = self._bootstrap.resample_weights(cfg.tau_test, self._test_base)
-        replicated = np.array(
-            [
-                compute_score(
-                    cfg.score,
-                    window,
-                    rw,
-                    tw,
-                    config=cfg.estimator,
-                    inspection_index=cfg.lr_inspection_index,
-                )
-                for rw, tw in zip(ref_resampled, test_resampled)
-            ]
-        )
-        interval = percentile_interval(replicated, cfg.alpha, point=point_score)
+        point_score, interval = self._score_engine.point_and_interval(log_window)
         gamma, alert = self._threshold.update(inspection_time, interval)
         point = ScorePoint(
             time=inspection_time,

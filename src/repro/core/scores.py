@@ -12,11 +12,18 @@ bags before the inspection point ``t``) and the weighted test set
 Both are written as functions of precomputed EMD matrices and of the
 window weight vectors, so the Bayesian bootstrap can resample the weights
 cheaply without recomputing any distance.
+
+Each score also has a ``*_batch`` form operating on a ``(B, τ)`` /
+``(B, τ′)`` matrix of weight vectors at once.  The batched forms take a
+:class:`LogWindowDistances` — the window's three EMD blocks already
+clipped and logged — so the point score and all its bootstrap replicates
+share a single log transform per window; :func:`score_batch` is the
+batched counterpart of :func:`compute_score`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -25,8 +32,12 @@ from ..information import (
     DEFAULT_CONFIG,
     EstimatorConfig,
     auto_entropy,
+    auto_entropy_batch,
     cross_entropy,
+    cross_entropy_batch,
     information_content,
+    information_content_batch,
+    log_distances,
 )
 
 
@@ -73,6 +84,75 @@ class WindowDistances:
     def n_test(self) -> int:
         """Number of bags in the test window (τ′)."""
         return int(self.test_pairwise.shape[0])
+
+
+@dataclass(frozen=True)
+class LogWindowDistances:
+    """Clipped-and-logged EMD matrices for one inspection point.
+
+    The information estimators only ever consume ``log(max(d, floor))`` of
+    the window distances, so precomputing that transform once per window
+    lets the point score and every bootstrap replicate reuse it.  Built
+    from a :class:`WindowDistances` via :meth:`from_window`, or directly
+    from already-logged blocks (the online detector maintains a rolling
+    logged matrix across pushes).
+
+    Attributes
+    ----------
+    ref_log:
+        ``(τ, τ)`` log-distance matrix of the reference window.
+    test_log:
+        ``(τ′, τ′)`` log-distance matrix of the test window.
+    cross_log:
+        ``(τ, τ′)`` log-distance matrix between the two windows.
+    config:
+        Estimator constants the blocks were logged under (``min_distance``
+        is already applied; ``constant``/``dimension`` are applied by the
+        estimators).
+    """
+
+    ref_log: np.ndarray
+    test_log: np.ndarray
+    cross_log: np.ndarray
+    config: EstimatorConfig = field(default_factory=EstimatorConfig)
+
+    def __post_init__(self) -> None:
+        ref = np.asarray(self.ref_log, dtype=float)
+        test = np.asarray(self.test_log, dtype=float)
+        cross = np.asarray(self.cross_log, dtype=float)
+        if ref.ndim != 2 or ref.shape[0] != ref.shape[1]:
+            raise ValidationError("ref_log must be a square matrix")
+        if test.ndim != 2 or test.shape[0] != test.shape[1]:
+            raise ValidationError("test_log must be a square matrix")
+        if cross.shape != (ref.shape[0], test.shape[0]):
+            raise ValidationError(
+                f"cross_log must have shape ({ref.shape[0]}, {test.shape[0]}), got {cross.shape}"
+            )
+        object.__setattr__(self, "ref_log", ref)
+        object.__setattr__(self, "test_log", test)
+        object.__setattr__(self, "cross_log", cross)
+
+    @classmethod
+    def from_window(
+        cls, window: WindowDistances, config: EstimatorConfig = DEFAULT_CONFIG
+    ) -> "LogWindowDistances":
+        """Clip and log the three blocks of ``window`` exactly once."""
+        return cls(
+            ref_log=log_distances(window.ref_pairwise, config),
+            test_log=log_distances(window.test_pairwise, config),
+            cross_log=log_distances(window.cross, config),
+            config=config,
+        )
+
+    @property
+    def n_reference(self) -> int:
+        """Number of bags in the reference window (τ)."""
+        return int(self.ref_log.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        """Number of bags in the test window (τ′)."""
+        return int(self.test_log.shape[0])
 
 
 def _check_weights(distances: WindowDistances, ref_weights, test_weights):
@@ -172,5 +252,122 @@ def compute_score(
             test_weights,
             config=config,
             inspection_index=inspection_index,
+        )
+    raise ConfigurationError(f"unknown score kind {kind!r}; expected 'kl' or 'lr'")
+
+
+# ---------------------------------------------------------------------- #
+# Batched scores (all bootstrap replicates in one shot)
+# ---------------------------------------------------------------------- #
+def _check_weight_batches(ref_weights, test_weights) -> tuple:
+    """Promote both weight batches to 2-D and check their batch sizes match.
+
+    Per-matrix validation (column counts, finiteness, non-negativity,
+    normalisation) happens inside the batched estimators.
+    """
+    ref_w = np.asarray(ref_weights, dtype=float)
+    test_w = np.asarray(test_weights, dtype=float)
+    if ref_w.ndim == 1:
+        ref_w = ref_w[None, :]
+    if test_w.ndim == 1:
+        test_w = test_w[None, :]
+    if ref_w.ndim != 2 or test_w.ndim != 2:
+        raise ValidationError("batched weights must be (B, n) matrices")
+    if ref_w.shape[0] != test_w.shape[0]:
+        raise ValidationError(
+            f"ref_weights ({ref_w.shape[0]} rows) and test_weights ({test_w.shape[0]} rows) "
+            "must have the same batch size"
+        )
+    return ref_w, test_w
+
+
+def score_symmetric_kl_batch(
+    log_window: LogWindowDistances,
+    ref_weights: np.ndarray,
+    test_weights: np.ndarray,
+) -> np.ndarray:
+    """Symmetrised KL score (Eq. 17) for a batch of weight-vector pairs.
+
+    Row ``b`` of the result equals :func:`score_symmetric_kl` evaluated on
+    row ``b`` of ``ref_weights``/``test_weights`` (up to floating-point
+    reassociation, within ~1e-12); the three entropy terms reduce over all
+    ``B`` replicates with single matmul/einsum contractions against the
+    precomputed log blocks.
+    """
+    ref_w, test_w = _check_weight_batches(ref_weights, test_weights)
+    config = log_window.config
+    h_cross = cross_entropy_batch(
+        None, ref_w, test_w, config=config, precomputed_log=log_window.cross_log
+    )
+    h_ref = auto_entropy_batch(
+        None, ref_w, config=config, precomputed_log=log_window.ref_log
+    )
+    h_test = auto_entropy_batch(
+        None, test_w, config=config, precomputed_log=log_window.test_log
+    )
+    return h_cross - 0.5 * (h_ref + h_test)
+
+
+def score_likelihood_ratio_batch(
+    log_window: LogWindowDistances,
+    ref_weights: np.ndarray,
+    test_weights: np.ndarray,
+    *,
+    inspection_index: int = 0,
+) -> np.ndarray:
+    """Log-likelihood-ratio score (Eq. 16) for a batch of weight-vector pairs.
+
+    Row ``b`` of the result equals :func:`score_likelihood_ratio` on row
+    ``b`` of the weight matrices; both information-content terms are
+    weighted sums over one column of the log blocks, evaluated for all
+    replicates with a single matrix-vector product each.
+    """
+    ref_w, test_w = _check_weight_batches(ref_weights, test_weights)
+    if test_w.shape[1] != log_window.n_test:
+        raise ValidationError(
+            f"test_weights has {test_w.shape[1]} columns, expected {log_window.n_test}"
+        )
+    config = log_window.config
+    k = int(inspection_index)
+    if not 0 <= k < log_window.n_test:
+        raise ConfigurationError(
+            f"inspection_index must lie in [0, {log_window.n_test}), got {k}"
+        )
+    if log_window.n_test < 2:
+        raise ConfigurationError("the test window needs at least 2 bags for score_LR")
+
+    info_ref = information_content_batch(
+        None, ref_w, config=config, precomputed_log=log_window.cross_log[:, k]
+    )
+    mask = np.arange(log_window.n_test) != k
+    remaining = test_w[:, mask]
+    if np.any(remaining.sum(axis=1) <= 0):
+        raise ValidationError("test weights excluding the inspection bag must have positive mass")
+    info_test = information_content_batch(
+        None, remaining, config=config, precomputed_log=log_window.test_log[mask, k]
+    )
+    return info_ref - info_test
+
+
+def score_batch(
+    kind: str,
+    log_window: LogWindowDistances,
+    ref_weights: np.ndarray,
+    test_weights: np.ndarray,
+    *,
+    inspection_index: int = 0,
+) -> np.ndarray:
+    """Batched counterpart of :func:`compute_score`.
+
+    Dispatches to :func:`score_symmetric_kl_batch` (``"kl"``) or
+    :func:`score_likelihood_ratio_batch` (``"lr"``); returns one score per
+    row of the ``(B, τ)`` / ``(B, τ′)`` weight matrices.
+    """
+    name = str(kind).lower()
+    if name == "kl":
+        return score_symmetric_kl_batch(log_window, ref_weights, test_weights)
+    if name == "lr":
+        return score_likelihood_ratio_batch(
+            log_window, ref_weights, test_weights, inspection_index=inspection_index
         )
     raise ConfigurationError(f"unknown score kind {kind!r}; expected 'kl' or 'lr'")

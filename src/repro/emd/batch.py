@@ -12,7 +12,12 @@ provides the two pieces the detectors build on instead:
 * :class:`PairwiseEMDEngine` — computes batches of signature pairs,
   vectorising the exact 1-D fast path across all eligible pairs at once
   and optionally farming the remaining transportation solves out to a
-  thread or process pool.
+  thread or process pool.  The pool is created lazily and persists
+  across :meth:`~PairwiseEMDEngine.compute_pairs` calls (use
+  :meth:`~PairwiseEMDEngine.close` or a ``with`` block to release it),
+  and ground-distance matrices are cached for signature pairs that share
+  a common support — histogram-signature batches solve many LPs over one
+  cost matrix instead of rebuilding it per pair.
 """
 
 from __future__ import annotations
@@ -24,10 +29,12 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._validation import check_positive_int
-from ..exceptions import ConfigurationError, ValidationError
+from ..exceptions import ConfigurationError, ReproError, ValidationError
 from ..signatures import Signature
 from .distance import _can_use_1d_fast_path, emd
-from .ground_distance import GroundDistance
+from .ground_distance import GroundDistance, cross_distance_matrix
+from .linprog_backend import solve_emd_linprog
+from .transportation import solve_unbalanced_transportation
 
 PARALLEL_BACKENDS = ("serial", "thread", "process")
 
@@ -167,7 +174,7 @@ class BandedDistanceMatrix:
         dense-matrix convention used by the Fig. 6 plots.
         """
         dense = np.zeros((self._n, self._n), dtype=float)
-        for offset in range(1, self._bandwidth):
+        for offset in range(1, min(self._bandwidth, self._n)):
             column = self._band[: self._n - offset, offset - 1]
             values = np.where(np.isnan(column), 0.0, column)
             rows = np.arange(self._n - offset)
@@ -177,13 +184,19 @@ class BandedDistanceMatrix:
 
     @classmethod
     def from_dense(cls, matrix: np.ndarray, bandwidth: int) -> "BandedDistanceMatrix":
-        """Extract the band of an existing dense symmetric matrix."""
+        """Extract the band of an existing dense symmetric matrix.
+
+        Copies one super-diagonal of ``matrix`` per band offset (the
+        mirror image of :meth:`to_dense`) rather than assigning the
+        O(n·bandwidth) entries one pair at a time.
+        """
         dense = np.asarray(matrix, dtype=float)
         if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
             raise ValidationError("matrix must be square")
         banded = cls(dense.shape[0], bandwidth)
-        for i, j in banded.pairs():
-            banded[i, j] = dense[i, j]
+        n = dense.shape[0]
+        for offset in range(1, min(banded.bandwidth, n)):
+            banded._band[: n - offset, offset - 1] = np.diagonal(dense, offset)
         return banded
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -231,10 +244,29 @@ def _batched_wasserstein_1d(pairs: Sequence[Tuple[Signature, Signature]]) -> np.
     return np.sum(np.abs(cdf_a - cdf_b) * deltas, axis=1)
 
 
-def _emd_pair(args: Tuple[Signature, Signature, GroundDistance, str]) -> float:
-    """Top-level worker so process pools can pickle the call."""
-    sig_a, sig_b, ground_distance, backend = args
-    return emd(sig_a, sig_b, ground_distance=ground_distance, backend=backend)
+def _emd_pair(
+    args: Tuple[Signature, Signature, GroundDistance, str, Optional[np.ndarray]]
+) -> float:
+    """Top-level worker so process pools can pickle the call.
+
+    When a precomputed ground-distance matrix is supplied (pairs sharing a
+    common support), the transportation problem is solved directly on it,
+    skipping the per-pair cost-matrix build of :func:`repro.emd.emd`.
+    """
+    sig_a, sig_b, ground_distance, backend, cost_matrix = args
+    if cost_matrix is None:
+        return emd(sig_a, sig_b, ground_distance=ground_distance, backend=backend)
+    if backend == "simplex":
+        plan = solve_unbalanced_transportation(cost_matrix, sig_a.weights, sig_b.weights)
+    elif backend in ("auto", "linprog"):
+        plan = solve_emd_linprog(cost_matrix, sig_a.weights, sig_b.weights)
+    else:
+        raise ConfigurationError(
+            f"backend must be one of ('auto', 'linprog', 'simplex'), got {backend!r}"
+        )
+    if plan.total_flow <= 0:
+        return 0.0
+    return float(plan.cost / plan.total_flow)
 
 
 class PairwiseEMDEngine:
@@ -258,7 +290,20 @@ class PairwiseEMDEngine:
         Total number of pair distances computed so far (both paths).
     n_fast_path:
         How many of those went through the vectorised 1-D fast path.
+    n_cost_cache_hits:
+        How many transportation solves reused a cached ground-distance
+        matrix (pairs whose signatures share a common support).
+
+    Notes
+    -----
+    Worker pools are created lazily on the first batch that needs one and
+    are *kept alive* across calls, so streaming workloads pay the pool
+    start-up cost once instead of per batch.  Call :meth:`close` (or use
+    the engine as a context manager) to release the pool; a closed engine
+    raises :class:`~repro.exceptions.ConfigurationError` on further use.
     """
+
+    _COST_CACHE_MAX = 64
 
     def __init__(
         self,
@@ -280,6 +325,102 @@ class PairwiseEMDEngine:
         self.n_workers = n_workers
         self.n_evaluations = 0
         self.n_fast_path = 0
+        self.n_cost_cache_hits = 0
+        self._pool = None
+        self._pool_failed = False
+        self._closed = False
+        self._cost_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool and mark the engine closed.
+
+        Idempotent; afterwards any distance computation raises
+        :class:`~repro.exceptions.ConfigurationError`.
+        """
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._cost_cache.clear()
+        self._closed = True
+
+    def __enter__(self) -> "PairwiseEMDEngine":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "this PairwiseEMDEngine has been closed; create a new engine"
+            )
+
+    def _acquire_pool(self):
+        """The persistent executor, created on first use; ``None`` → serial."""
+        if self._pool is not None:
+            return self._pool
+        if self._pool_failed:
+            return None
+        workers = self.n_workers or os.cpu_count() or 1
+        if workers <= 1:
+            return None
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        pool_cls = ThreadPoolExecutor if self.parallel_backend == "thread" else ProcessPoolExecutor
+        try:
+            self._pool = pool_cls(max_workers=workers)
+        except (OSError, ValueError, RuntimeError, ImportError):
+            # Pool creation can fail in restricted environments (no
+            # /dev/shm, forbidden fork, ...); the serial path is always
+            # available, and we stop retrying for subsequent batches.
+            self._pool_failed = True
+            return None
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Ground-distance caching
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _shares_support(sig_a: Signature, sig_b: Signature) -> bool:
+        pa, pb = sig_a.positions, sig_b.positions
+        return pa is pb or (pa.shape == pb.shape and np.array_equal(pa, pb))
+
+    def _cached_cost(self, sig_a: Signature, sig_b: Signature) -> Optional[np.ndarray]:
+        """Ground-distance matrix for common-support pairs, built once.
+
+        Histogram-signature batches share one positions grid across every
+        bag, so all their LP solves can run against a single cost matrix
+        instead of recomputing cdist per pair.
+        """
+        if not self._shares_support(sig_a, sig_b):
+            return None
+        positions = sig_a.positions
+        key = (positions.shape, positions.tobytes())
+        cost = self._cost_cache.get(key)
+        if cost is not None:
+            self.n_cost_cache_hits += 1
+            return cost
+        cost = cross_distance_matrix(positions, sig_b.positions, self.ground_distance)
+        if len(self._cost_cache) >= self._COST_CACHE_MAX:
+            self._cost_cache.clear()
+        self._cost_cache[key] = cost
+        return cost
 
     # ------------------------------------------------------------------ #
     # Pair computation
@@ -294,24 +435,62 @@ class PairwiseEMDEngine:
         )
 
     def _solve_general(self, pairs: List[Tuple[Signature, Signature]]) -> List[float]:
-        jobs = [(a, b, self.ground_distance, self.backend) for a, b in pairs]
-        workers = self.n_workers or os.cpu_count() or 1
-        if self.parallel_backend == "serial" or workers <= 1 or len(jobs) < 2:
+        pool = None
+        if self.parallel_backend != "serial" and len(pairs) >= 2:
+            pool = self._acquire_pool()
+        # A cached cost matrix would be pickled into every job of a process
+        # pool (per-pair IPC instead of a saving); share the cache whenever
+        # execution is actually in-process, let process workers build cdist
+        # locally otherwise.
+        use_cache = pool is None or self.parallel_backend != "process"
+        jobs = [
+            (
+                a,
+                b,
+                self.ground_distance,
+                self.backend,
+                self._cached_cost(a, b) if use_cache else None,
+            )
+            for a, b in pairs
+        ]
+        if pool is None:
             return [_emd_pair(job) for job in jobs]
-        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+        from concurrent.futures import BrokenExecutor
 
-        pool_cls = ThreadPoolExecutor if self.parallel_backend == "thread" else ProcessPoolExecutor
         try:
-            with pool_cls(max_workers=min(workers, len(jobs))) as pool:
-                return list(pool.map(_emd_pair, jobs, chunksize=8))
-        except (OSError, ValueError, RuntimeError, ImportError, pickle.PicklingError):
-            # Pool creation can fail in restricted environments (no /dev/shm,
-            # forbidden fork, ...) and process pools cannot pickle callable
-            # ground distances; the serial path is always available.
+            return list(pool.map(_emd_pair, jobs, chunksize=8))
+        except (OSError, BrokenExecutor, RuntimeError) as exc:
+            # Library errors raised inside _emd_pair (SolverError and
+            # friends subclass RuntimeError) are computation failures:
+            # propagate them and leave the pool alive.
+            if isinstance(exc, ReproError):
+                raise
+            # The pool itself broke — workers spawn lazily at submit, so
+            # "can't start new thread" lands here, not in _acquire_pool.
+            # Retire it, stop retrying, and fall back to serial for this
+            # and all later batches.
+            self._pool_failed = True
+            try:
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
+            self._pool = None
+            return [_emd_pair(job) for job in jobs]
+        except (pickle.PicklingError, AttributeError, TypeError):
+            if self.parallel_backend != "process":
+                # Thread pools never pickle, so these are computation
+                # errors; propagate them and leave the pool alive.
+                raise
+            # Process pools cannot pickle callable ground distances (the
+            # pickler raises exactly these types), but a worker computation
+            # can raise them too; the pool is healthy either way, so run
+            # this batch serially — a genuine computation error re-raises
+            # there — and keep the pool for the next batch.
             return [_emd_pair(job) for job in jobs]
 
     def compute_pairs(self, pairs: Sequence[Tuple[Signature, Signature]]) -> np.ndarray:
         """Distances for a batch of pairs, in input order."""
+        self._check_open()
         pairs = list(pairs)
         out = np.empty(len(pairs), dtype=float)
         if not pairs:
@@ -345,8 +524,11 @@ class PairwiseEMDEngine:
         values = self.compute_pairs(
             [(signatures[i], signatures[j]) for i, j in index_pairs]
         )
-        for (i, j), value in zip(index_pairs, values):
-            banded[i, j] = value
+        if index_pairs:
+            ij = np.asarray(index_pairs)
+            # All pairs are in-band by construction; write the band
+            # storage directly instead of one __setitem__ check per pair.
+            banded._band[ij[:, 0], ij[:, 1] - ij[:, 0] - 1] = values
         return banded
 
 

@@ -5,8 +5,12 @@ from .estimators import (
     EstimatorConfig,
     WeightedInformationEstimator,
     auto_entropy,
+    auto_entropy_batch,
     cross_entropy,
+    cross_entropy_batch,
     information_content,
+    information_content_batch,
+    log_distances,
 )
 from .weights import (
     discounted_reference_weights,
@@ -21,8 +25,12 @@ __all__ = [
     "DEFAULT_CONFIG",
     "WeightedInformationEstimator",
     "information_content",
+    "information_content_batch",
     "auto_entropy",
+    "auto_entropy_batch",
     "cross_entropy",
+    "cross_entropy_batch",
+    "log_distances",
     "uniform_weights",
     "discounted_reference_weights",
     "discounted_test_weights",

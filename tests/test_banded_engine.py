@@ -158,6 +158,247 @@ class TestPairwiseEMDEngine:
         assert PairwiseEMDEngine().compute_pairs([]).size == 0
 
 
+class TestEngineLifecycle:
+    def test_pool_persists_across_batches(self, rng):
+        sigs = make_signatures(rng, n=6)
+        pairs = [(sigs[i], sigs[i + 1]) for i in range(5)]
+        engine = PairwiseEMDEngine(parallel_backend="thread", n_workers=2)
+        engine.compute_pairs(pairs)
+        first_pool = engine._pool
+        assert first_pool is not None
+        engine.compute_pairs(pairs)
+        assert engine._pool is first_pool
+        engine.close()
+
+    def test_close_shuts_down_pool_and_blocks_reuse(self, rng):
+        sigs = make_signatures(rng, n=4)
+        engine = PairwiseEMDEngine(parallel_backend="thread", n_workers=2)
+        engine.compute_pairs([(sigs[0], sigs[1]), (sigs[1], sigs[2])])
+        engine.close()
+        assert engine.closed
+        with pytest.raises(ConfigurationError):
+            engine.compute_pairs([(sigs[0], sigs[1])])
+        with pytest.raises(ConfigurationError):
+            engine.compute(sigs[0], sigs[1])
+        engine.close()  # idempotent
+
+    def test_serial_engine_close_blocks_reuse(self, rng):
+        sigs = make_signatures(rng, n=3)
+        engine = PairwiseEMDEngine()
+        engine.close()
+        with pytest.raises(ConfigurationError):
+            engine.compute_pairs([(sigs[0], sigs[1])])
+
+    def test_context_manager_closes_on_exit(self, rng):
+        sigs = make_signatures(rng, n=4)
+        with PairwiseEMDEngine(parallel_backend="thread", n_workers=2) as engine:
+            values = engine.compute_pairs([(sigs[0], sigs[1]), (sigs[2], sigs[3])])
+            assert values.shape == (2,)
+        assert engine.closed
+        with pytest.raises(ConfigurationError):
+            engine.compute_pairs([(sigs[0], sigs[1])])
+
+    def test_entering_closed_engine_rejected(self):
+        engine = PairwiseEMDEngine()
+        engine.close()
+        with pytest.raises(ConfigurationError):
+            engine.__enter__()
+
+    def test_computation_errors_propagate_and_leave_pool_alive(self, rng, monkeypatch):
+        from repro.emd import batch as batch_mod
+        from repro.exceptions import SolverError
+
+        sigs = make_signatures(rng, n=4)
+        pairs = [(sigs[0], sigs[1]), (sigs[1], sigs[2])]
+        engine = PairwiseEMDEngine(parallel_backend="thread", n_workers=2)
+        engine.compute_pairs(pairs)
+        pool = engine._pool
+
+        def failing_pair(args):
+            raise SolverError("LP failed")
+
+        monkeypatch.setattr(batch_mod, "_emd_pair", failing_pair)
+        with pytest.raises(SolverError):
+            engine.compute_pairs(pairs)
+        # A solver failure is not a pool failure: parallelism stays on.
+        assert engine._pool is pool
+        assert not engine._pool_failed
+
+        def type_error_pair(args):
+            raise TypeError("bad callable ground distance")
+
+        monkeypatch.setattr(batch_mod, "_emd_pair", type_error_pair)
+        # Thread pools never pickle, so a TypeError is a computation error
+        # there too and must not retire the pool.
+        with pytest.raises(TypeError):
+            engine.compute_pairs(pairs)
+        assert engine._pool is pool
+        assert not engine._pool_failed
+        monkeypatch.undo()
+        assert engine.compute_pairs(pairs).shape == (2,)
+        engine.close()
+
+    def test_thread_spawn_failure_falls_back_to_serial(self, rng, monkeypatch):
+        sigs = make_signatures(rng, n=4)
+        pairs = [(sigs[0], sigs[1]), (sigs[1], sigs[2])]
+        engine = PairwiseEMDEngine(parallel_backend="thread", n_workers=2)
+        engine.compute_pairs(pairs)  # create the pool
+        # Executors spawn workers lazily at submit; emulate a thread-capped
+        # environment where map itself fails.
+        def failing_map(*args, **kwargs):
+            raise RuntimeError("can't start new thread")
+
+        monkeypatch.setattr(engine._pool, "map", failing_map)
+        values = engine.compute_pairs(pairs)
+        assert values.shape == (2,)
+        assert engine._pool_failed and engine._pool is None
+        # Later batches keep working serially.
+        assert engine.compute_pairs(pairs).shape == (2,)
+        engine.close()
+
+    def test_detectors_close_their_engine(self, rng):
+        bags = [rng.normal(0, 1, size=(10, 2)) for _ in range(8)]
+        kwargs = dict(
+            tau=3, tau_test=3, signature_method="exact", n_bootstrap=20, random_state=0
+        )
+        with BagChangePointDetector(**kwargs) as detector:
+            detector.detect(bags)
+        with pytest.raises(ConfigurationError):
+            detector.detect(bags)
+        detector.close()  # idempotent
+
+        online = OnlineBagDetector(**kwargs)
+        online.push(bags[0])
+        online.close()
+        with pytest.raises(ConfigurationError):
+            online.push(bags[1])
+
+    def test_failed_online_push_is_retryable(self, rng, monkeypatch):
+        from repro.exceptions import SolverError
+
+        bags = [rng.normal(0, 1, size=(12, 2)) for _ in range(10)]
+        kwargs = dict(
+            tau=3, tau_test=3, signature_method="exact", n_bootstrap=20, random_state=0
+        )
+        clean = OnlineBagDetector(**kwargs)
+        for bag in bags:
+            clean.push(bag)
+
+        detector = OnlineBagDetector(**kwargs)
+        for bag in bags[:5]:
+            detector.push(bag)
+        seen_before = detector.n_seen
+        matrix_before = detector._window_matrix.copy()
+
+        def failing_pairs(pairs):
+            raise SolverError("LP failed")
+
+        monkeypatch.setattr(detector._engine, "compute_pairs", failing_pairs)
+        with pytest.raises(SolverError):
+            detector.push(bags[5])
+        monkeypatch.undo()
+        # The failed push mutated nothing: the detector is retryable and
+        # the resumed stream matches an uninterrupted run bit-for-bit.
+        assert detector.n_seen == seen_before
+        np.testing.assert_array_equal(detector._window_matrix, matrix_before)
+        for bag in bags[5:]:
+            detector.push(bag)
+        assert len(detector.history.points) == len(clean.history.points)
+        for a, b in zip(detector.history.points, clean.history.points):
+            assert a.time == b.time
+            assert a.score == b.score
+            assert a.interval.lower == b.interval.lower
+
+
+class TestGroundDistanceCache:
+    def make_common_support_signatures(self, rng, n=6, k=5, dim=2):
+        support = rng.normal(size=(k, dim))
+        return [
+            Signature(support, rng.uniform(0.5, 2.0, size=k), label=i) for i in range(n)
+        ]
+
+    def test_common_support_pairs_hit_cache(self, rng):
+        sigs = self.make_common_support_signatures(rng)
+        pairs = [(sigs[i], sigs[j]) for i in range(6) for j in range(i + 1, 6)]
+        engine = PairwiseEMDEngine()
+        values = engine.compute_pairs(pairs)
+        # One build for the shared support, every other pair reuses it.
+        assert engine.n_cost_cache_hits == len(pairs) - 1
+        expected = [emd(a, b) for a, b in pairs]
+        assert np.allclose(values, expected, atol=1e-12)
+
+    def test_distinct_supports_do_not_hit_cache(self, rng):
+        sigs = make_signatures(rng, n=5)  # independent supports per bag
+        engine = PairwiseEMDEngine()
+        engine.compute_pairs([(sigs[i], sigs[i + 1]) for i in range(4)])
+        assert engine.n_cost_cache_hits == 0
+
+    def test_cache_engages_for_in_process_process_backend(self, rng):
+        # parallel_backend="process" with one worker never spawns a pool,
+        # so execution is in-process and the cache should still be shared.
+        sigs = self.make_common_support_signatures(rng, n=4)
+        engine = PairwiseEMDEngine(parallel_backend="process", n_workers=1)
+        pairs = [(sigs[i], sigs[j]) for i in range(4) for j in range(i + 1, 4)]
+        values = engine.compute_pairs(pairs)
+        assert engine.n_cost_cache_hits == len(pairs) - 1
+        assert np.allclose(values, [emd(a, b) for a, b in pairs], atol=1e-12)
+        engine.close()
+
+    def test_cache_persists_across_batches(self, rng):
+        sigs = self.make_common_support_signatures(rng, n=4)
+        engine = PairwiseEMDEngine()
+        engine.compute_pairs([(sigs[0], sigs[1])])
+        assert engine.n_cost_cache_hits == 0
+        engine.compute_pairs([(sigs[2], sigs[3])])
+        assert engine.n_cost_cache_hits == 1
+
+    def test_cache_with_simplex_backend_matches(self, rng):
+        sigs = self.make_common_support_signatures(rng, n=3)
+        engine = PairwiseEMDEngine(backend="simplex")
+        values = engine.compute_pairs([(sigs[0], sigs[1]), (sigs[1], sigs[2])])
+        expected = [emd(a, b, backend="simplex") for a, b in
+                    [(sigs[0], sigs[1]), (sigs[1], sigs[2])]]
+        assert np.allclose(values, expected, atol=1e-12)
+        assert engine.n_cost_cache_hits == 1
+
+    def test_invalid_backend_rejected_on_cached_path(self, rng):
+        sigs = self.make_common_support_signatures(rng, n=2)
+        engine = PairwiseEMDEngine(backend="Simplex")  # typo: case-sensitive
+        with pytest.raises(ConfigurationError):
+            engine.compute_pairs([(sigs[0], sigs[1])])
+
+    def test_histogram_detector_uses_cache(self, rng):
+        # Histogram signatures over a fixed range share one bin-centre grid
+        # whenever all bins are occupied, which is the workload the cache
+        # is for; verify end-to-end through the banded matrix build.
+        sigs = self.make_common_support_signatures(rng, n=8, k=4, dim=1)
+        engine = PairwiseEMDEngine(backend="linprog")  # force the LP path in 1-D
+        engine.banded_matrix(sigs, 4)
+        assert engine.n_cost_cache_hits > 0
+
+
+class TestFromDenseVectorised:
+    def test_matches_per_pair_extraction(self, rng):
+        sym = rng.uniform(1, 2, size=(9, 9))
+        sym = (sym + sym.T) / 2.0
+        np.fill_diagonal(sym, 0.0)
+        for bandwidth in (2, 4, 9, 15):  # including bandwidth > n
+            banded = BandedDistanceMatrix.from_dense(sym, bandwidth)
+            reference = BandedDistanceMatrix(9, bandwidth)
+            for i, j in reference.pairs():
+                reference[i, j] = sym[i, j]
+            np.testing.assert_array_equal(
+                banded.band, reference.band
+            )
+
+    def test_roundtrip_with_bandwidth_wider_than_matrix(self, rng):
+        sym = rng.uniform(1, 2, size=(5, 5))
+        sym = (sym + sym.T) / 2.0
+        np.fill_diagonal(sym, 0.0)
+        dense = BandedDistanceMatrix.from_dense(sym, 12).to_dense()
+        np.testing.assert_allclose(dense, sym, atol=1e-12)
+
+
 class TestBandedVsDense:
     @pytest.mark.parametrize("bandwidth", [3, 5, 11])
     def test_band_agrees_with_dense_matrix(self, rng, bandwidth):
