@@ -1,0 +1,175 @@
+"""Benchmark: per-pair vs tensor-batched Sinkhorn transportation solves.
+
+The detector's band build issues thousands of entropic transport solves
+over one shared ground-cost matrix whenever signatures live on a common
+support (d-dimensional histogram grids).  Solving them one
+:func:`repro.emd.sinkhorn_transport` call at a time pays per-call Python
+and small-array numpy overhead per pair;
+:func:`repro.emd.sinkhorn_transport_batch` stacks all pairs into one
+``(P, K, L)`` log-domain iteration with per-pair early exit.
+
+Two sections:
+
+* **solver** — the enforced comparison: P common-support histogram pairs
+  solved per-pair vs batched, identical epsilon/tolerance/iteration
+  budget, with a parity check on the resulting distances;
+* **engine** — context: the full band build over histogram signatures
+  through :class:`repro.emd.PairwiseEMDEngine`, exact LP backend vs
+  ``backend="sinkhorn_batch"`` (approximate, but the workload the knob
+  exists for).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sinkhorn_batch.py          # full
+    PYTHONPATH=src python benchmarks/bench_sinkhorn_batch.py --quick  # CI smoke
+
+In full mode the script exits non-zero unless the batched solver is at
+least ``--threshold`` times faster than the per-pair loop (default 5x)
+or the two disagree beyond 1e-8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.emd import (
+    BandedDistanceMatrix,
+    PairwiseEMDEngine,
+    sinkhorn_transport,
+    sinkhorn_transport_batch,
+)
+from repro.emd.ground_distance import cross_distance_matrix
+from repro.signatures import Signature
+
+
+def make_histogram_batch(n_pairs, side, dim, seed):
+    """P pairs of histogram weights over one shared d-dimensional grid."""
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.arange(float(side))] * dim)
+    grid = np.column_stack([axis.ravel() for axis in axes])
+    n_bins = grid.shape[0]
+    weights_a = rng.uniform(0.5, 3.0, size=(n_pairs, n_bins))
+    weights_b = rng.uniform(0.5, 3.0, size=(n_pairs, n_bins))
+    cost = cross_distance_matrix(grid, grid, "euclidean")
+    return grid, cost, weights_a, weights_b
+
+
+def make_histogram_signatures(n_bags, side, dim, seed):
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.arange(float(side))] * dim)
+    grid = np.column_stack([axis.ravel() for axis in axes])
+    signatures = []
+    for i in range(n_bags):
+        counts = rng.poisson(3.0, size=grid.shape[0]).astype(float)
+        if counts.sum() == 0:
+            counts[0] = 1.0
+        signatures.append(Signature(grid[counts > 0], counts[counts > 0], label=i))
+    return signatures
+
+
+def timed(func):
+    start = time.perf_counter()
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, default=256, help="batch size P")
+    parser.add_argument("--side", type=int, default=4, help="histogram bins per dimension")
+    parser.add_argument("--dim", type=int, default=2, help="grid dimensionality")
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--max-iter", type=int, default=500)
+    parser.add_argument("--bags", type=int, default=60, help="engine-section sequence length")
+    parser.add_argument("--bandwidth", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threshold", type=float, default=5.0,
+        help="minimum batched-vs-per-pair speed-up required in full mode",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small problem for CI smoke runs; reports but does not enforce the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    n_pairs = 64 if args.quick else args.pairs
+    n_bags = 30 if args.quick else args.bags
+
+    # ------------------------------------------------------------------ #
+    # Solver section: identical problems, per-pair loop vs one batch.
+    # ------------------------------------------------------------------ #
+    grid, cost, weights_a, weights_b = make_histogram_batch(
+        n_pairs, args.side, args.dim, args.seed
+    )
+    solver_kwargs = dict(epsilon=args.epsilon, max_iter=args.max_iter)
+
+    def per_pair():
+        return np.array(
+            [
+                sinkhorn_transport(cost, a, b, **solver_kwargs).distance
+                for a, b in zip(weights_a, weights_b)
+            ]
+        )
+
+    def batched():
+        return sinkhorn_transport_batch(cost, weights_a, weights_b, **solver_kwargs).distances
+
+    loop_time, loop_values = timed(per_pair)
+    batch_time, batch_values = timed(batched)
+    max_diff = float(np.abs(loop_values - batch_values).max())
+    speedup = loop_time / batch_time if batch_time > 0 else float("inf")
+
+    print(
+        f"\nsolver: {n_pairs} pairs on a {args.side}^{args.dim} grid "
+        f"({grid.shape[0]} atoms), epsilon={args.epsilon}"
+    )
+    print(f"{'method':<16}{'pairs/s':>12}{'seconds':>10}{'speed-up':>10}")
+    for label, elapsed in (("per-pair", loop_time), ("batched", batch_time)):
+        rate = n_pairs / elapsed if elapsed > 0 else float("inf")
+        ratio = loop_time / elapsed if elapsed > 0 else float("inf")
+        print(f"{label:<16}{rate:>12.1f}{elapsed:>10.3f}{ratio:>10.2f}x")
+    print(f"max |batched - per-pair| = {max_diff:.2e}")
+
+    # ------------------------------------------------------------------ #
+    # Engine section: band build, exact LP vs batched Sinkhorn routing.
+    # ------------------------------------------------------------------ #
+    signatures = make_histogram_signatures(n_bags, args.side, args.dim, args.seed)
+    n_band_pairs = BandedDistanceMatrix(n_bags, args.bandwidth).pair_indices()[0].size
+
+    lp_time, _ = timed(
+        lambda: PairwiseEMDEngine(backend="linprog").banded_matrix(
+            signatures, args.bandwidth
+        )
+    )
+    sinkhorn_engine = PairwiseEMDEngine(
+        backend="sinkhorn_batch", sinkhorn_epsilon=args.epsilon,
+        sinkhorn_max_iter=args.max_iter,
+    )
+    engine_time, _ = timed(
+        lambda: sinkhorn_engine.banded_matrix(signatures, args.bandwidth)
+    )
+    print(
+        f"\nengine: band build, {n_bags} bags, width {args.bandwidth} "
+        f"({n_band_pairs} pairs, {sinkhorn_engine.n_sinkhorn_batched} batched)"
+    )
+    print(f"{'backend':<16}{'seconds':>10}{'speed-up':>10}")
+    engine_speedup = lp_time / engine_time if engine_time > 0 else float("inf")
+    print(f"{'exact linprog':<16}{lp_time:>10.3f}{1.0:>10.2f}x")
+    print(f"{'sinkhorn_batch':<16}{engine_time:>10.3f}{engine_speedup:>10.2f}x")
+
+    if max_diff > 1e-8:
+        print(f"FAIL: batched and per-pair Sinkhorn disagree by {max_diff:.2e} > 1e-8")
+        return 1
+    if not args.quick and speedup < args.threshold:
+        print(f"FAIL: batched speed-up {speedup:.2f}x below threshold {args.threshold}x")
+        return 1
+    print(f"OK: batched solver {speedup:.2f}x faster than per-pair, parity {max_diff:.2e}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

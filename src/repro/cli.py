@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .core import BagChangePointDetector, BagSequence, DetectorConfig
+from .emd import EMD_SOLVERS
 from .exceptions import ValidationError
 
 
@@ -71,6 +72,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--clusters", type=int, default=8, help="signature size K")
     parser.add_argument(
+        "--emd-backend",
+        choices=EMD_SOLVERS,
+        default="auto",
+        help="transportation solver: exact (auto/linprog/simplex) or the "
+        "tensor-batched entropic approximation (sinkhorn_batch)",
+    )
+    parser.add_argument(
+        "--sinkhorn-epsilon", type=float, default=0.05,
+        help="regularisation strength for --emd-backend sinkhorn_batch",
+    )
+    parser.add_argument(
+        "--sinkhorn-max-iter", type=int, default=2000,
+        help="iteration budget per batched Sinkhorn solve",
+    )
+    parser.add_argument(
         "--parallel",
         choices=("serial", "thread", "process"),
         default="serial",
@@ -113,6 +129,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         score=args.score,
         signature_method=args.signature,
         n_clusters=args.clusters,
+        emd_backend=args.emd_backend,
+        sinkhorn_epsilon=args.sinkhorn_epsilon,
+        sinkhorn_max_iter=args.sinkhorn_max_iter,
         parallel_backend=args.parallel,
         n_workers=args.workers,
         lr_inspection_index=args.lr_inspection_index,

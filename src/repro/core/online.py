@@ -75,6 +75,8 @@ class OnlineBagDetector:
             backend=config.emd_backend,
             parallel_backend=config.parallel_backend,
             n_workers=config.n_workers,
+            sinkhorn_epsilon=config.sinkhorn_epsilon,
+            sinkhorn_max_iter=config.sinkhorn_max_iter,
         )
         self._score_engine = ScoreEngine(config, rng=self._rng)
         self._threshold = AdaptiveThreshold(config.tau_test)

@@ -1,6 +1,7 @@
 """Earth Mover's Distance between signatures (paper Section 3.2)."""
 
 from .batch import (
+    EMD_SOLVERS,
     BandedDistanceMatrix,
     PairwiseEMDEngine,
     banded_emd_matrix,
@@ -17,8 +18,10 @@ from .ground_distance import (
 )
 from .linprog_backend import solve_emd_linprog
 from .matrices import EMDCache, cross_emd_matrix, emd_matrix
+from .numerics import logsumexp
 from .one_dimensional import emd_1d_histograms, wasserstein_1d
 from .sinkhorn import SinkhornResult, sinkhorn_emd, sinkhorn_transport
+from .sinkhorn_batch import SinkhornBatchResult, sinkhorn_transport_batch
 from .transportation import (
     TransportPlan,
     solve_transportation,
@@ -26,6 +29,7 @@ from .transportation import (
 )
 
 __all__ = [
+    "EMD_SOLVERS",
     "BandedDistanceMatrix",
     "PairwiseEMDEngine",
     "banded_emd_matrix",
@@ -45,9 +49,12 @@ __all__ = [
     "cross_emd_matrix",
     "wasserstein_1d",
     "emd_1d_histograms",
+    "logsumexp",
     "SinkhornResult",
     "sinkhorn_emd",
     "sinkhorn_transport",
+    "SinkhornBatchResult",
+    "sinkhorn_transport_batch",
     "TransportPlan",
     "solve_transportation",
     "solve_unbalanced_transportation",

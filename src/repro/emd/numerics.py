@@ -1,0 +1,43 @@
+"""Shared numerical kernels for the transportation solvers.
+
+The scalar and the batched Sinkhorn solvers both run log-domain matrix
+scaling, whose inner loop is a stabilised log-sum-exp reduction.  They
+must share one implementation: the batched solver's parity guarantee
+(batched distances match the per-pair solver to within float rounding)
+relies on both paths performing bitwise-identical reductions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def logsumexp(values: np.ndarray, axis: int, *, overwrite_input: bool = False) -> np.ndarray:
+    """Stabilised ``log(sum(exp(values)))`` reduced over ``axis``.
+
+    Unlike the naive shift-by-max formulation, slices consisting entirely
+    of ``-inf`` (atoms carrying zero mass in the log domain) are handled
+    explicitly and reduce to ``-inf`` instead of propagating ``NaN`` from
+    the indeterminate ``-inf - (-inf)`` shift — no runtime warnings are
+    emitted either way.
+
+    ``overwrite_input=True`` lets the reduction clobber ``values`` as
+    scratch space, sparing the batched solver one tensor-sized temporary
+    per call; the computed result is identical.
+    """
+    values = np.asarray(values, dtype=float)
+    maximum = np.max(values, axis=axis, keepdims=True)
+    # An all--inf slice has maximum -inf; shifting by it would produce
+    # NaN, so pin the shift to zero there and let log(sum) = log(0) give
+    # the correct -inf below.
+    safe_max = np.where(np.isfinite(maximum), maximum, 0.0)
+    # asarray above guarantees a float64 ndarray, so in-place is safe.
+    if overwrite_input:
+        shifted = np.subtract(values, safe_max, out=values)
+    else:
+        shifted = values - safe_max
+    np.exp(shifted, out=shifted)
+    total = np.sum(shifted, axis=axis, keepdims=True)
+    with np.errstate(divide="ignore"):
+        np.log(total, out=total)
+    return np.squeeze(safe_max + total, axis=axis)

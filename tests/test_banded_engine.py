@@ -96,6 +96,30 @@ class TestBandedDistanceMatrix:
                 expected = sym[i, j] if abs(i - j) < 3 else 0.0
                 assert dense[i, j] == pytest.approx(expected, abs=1e-12)
 
+    @pytest.mark.parametrize("n,bandwidth", [(1, 2), (5, 2), (8, 3), (6, 10), (10, 10)])
+    def test_pair_indices_match_reference_loop(self, n, bandwidth):
+        banded = BandedDistanceMatrix(n, bandwidth)
+        i, j = banded.pair_indices()
+        expected = [
+            (a, b)
+            for a in range(n)
+            for b in range(a + 1, min(n, a + bandwidth))
+        ]
+        assert list(zip(i.tolist(), j.tolist())) == expected
+
+    def test_pairs_is_thin_wrapper_over_pair_indices(self):
+        banded = BandedDistanceMatrix(7, 3)
+        i, j = banded.pair_indices()
+        assert list(banded.pairs()) == list(zip(i.tolist(), j.tolist()))
+
+    def test_pair_indices_are_all_in_band(self):
+        banded = BandedDistanceMatrix(9, 4)
+        i, j = banded.pair_indices()
+        assert np.all(j > i)
+        assert np.all(j - i < banded.bandwidth)
+        # Count matches the closed form summed per row.
+        assert i.size == sum(min(9, a + 4) - (a + 1) for a in range(9))
+
     def test_window_matches_dense_blocks(self, rng):
         sigs = make_signatures(rng, n=10)
         dense = emd_matrix(sigs)
@@ -344,6 +368,34 @@ class TestGroundDistanceCache:
         assert np.allclose(values, [emd(a, b) for a, b in pairs], atol=1e-12)
         engine.close()
 
+    def test_process_pool_worker_cache_matches_serial(self, rng):
+        # Process jobs ship no cost matrix; each worker builds the shared
+        # common-support matrix once (module-level per-worker cache) and
+        # must produce the same distances as the serial cached path.
+        sigs = self.make_common_support_signatures(rng, n=6)
+        pairs = [(sigs[i], sigs[j]) for i in range(6) for j in range(i + 1, 6)]
+        serial = PairwiseEMDEngine().compute_pairs(pairs)
+        with PairwiseEMDEngine(parallel_backend="process", n_workers=2) as engine:
+            parallel = engine.compute_pairs(pairs)
+        assert np.allclose(serial, parallel, atol=1e-10)
+
+    def test_worker_cache_builds_cost_once_in_process(self, rng):
+        # Exercise the worker-side branch of _emd_pair directly (it runs
+        # in this process, so the module-level cache is observable).
+        from repro.emd import batch as batch_mod
+
+        sigs = self.make_common_support_signatures(rng, n=3)
+        batch_mod._worker_cost_cache.clear()
+        jobs = [
+            (a, b, "euclidean", "auto", None, True)
+            for a, b in [(sigs[0], sigs[1]), (sigs[1], sigs[2])]
+        ]
+        values = [batch_mod._emd_pair(job) for job in jobs]
+        assert len(batch_mod._worker_cost_cache) == 1
+        expected = [emd(sigs[0], sigs[1]), emd(sigs[1], sigs[2])]
+        assert np.allclose(values, expected, atol=1e-12)
+        batch_mod._worker_cost_cache.clear()
+
     def test_cache_persists_across_batches(self, rng):
         sigs = self.make_common_support_signatures(rng, n=4)
         engine = PairwiseEMDEngine()
@@ -361,11 +413,11 @@ class TestGroundDistanceCache:
         assert np.allclose(values, expected, atol=1e-12)
         assert engine.n_cost_cache_hits == 1
 
-    def test_invalid_backend_rejected_on_cached_path(self, rng):
-        sigs = self.make_common_support_signatures(rng, n=2)
-        engine = PairwiseEMDEngine(backend="Simplex")  # typo: case-sensitive
+    def test_invalid_backend_rejected_at_construction(self):
         with pytest.raises(ConfigurationError):
-            engine.compute_pairs([(sigs[0], sigs[1])])
+            PairwiseEMDEngine(backend="Simplex")  # typo: case-sensitive
+        with pytest.raises(ConfigurationError):
+            PairwiseEMDEngine(backend="sinkhorn")  # typo for sinkhorn_batch
 
     def test_histogram_detector_uses_cache(self, rng):
         # Histogram signatures over a fixed range share one bin-centre grid

@@ -73,6 +73,34 @@ class TestSinkhornTransport:
         with pytest.raises(ValidationError):
             sinkhorn_transport(np.ones((2, 2)), np.ones(2), np.ones(2), epsilon=0.0)
 
+    def test_invalid_check_every_rejected(self):
+        with pytest.raises(ValidationError):
+            sinkhorn_transport(np.ones((2, 2)), np.ones(2), np.ones(2), check_every=0)
+
+    def test_check_every_does_not_change_the_result(self, rng):
+        # The dual updates are identical whatever the check cadence; a
+        # sparser cadence only delays *noticing* convergence, so the
+        # distance agrees to within the marginal tolerance and the
+        # iteration count lands in the next check window.
+        cost = rng.uniform(0.2, 5.0, size=(5, 6))
+        a = rng.uniform(0.5, 2.0, 5)
+        b = rng.uniform(0.5, 2.0, 6)
+        every = sinkhorn_transport(cost, a, b, epsilon=0.05, check_every=1)
+        sparse = sinkhorn_transport(cost, a, b, epsilon=0.05, check_every=10)
+        assert sparse.distance == pytest.approx(every.distance, abs=1e-9)
+        assert every.converged and sparse.converged
+        assert every.iterations <= sparse.iterations < every.iterations + 10
+        assert sparse.iterations % 10 == 0
+
+    def test_marginals_still_met_with_sparse_checks(self, rng):
+        cost = rng.uniform(0, 5, size=(4, 6))
+        a = rng.uniform(0.5, 2.0, 4)
+        b = rng.uniform(0.5, 2.0, 6)
+        result = sinkhorn_transport(cost, a, b, epsilon=0.05, check_every=25)
+        assert result.converged
+        assert np.abs(result.plan.sum(axis=1) - a / a.sum()).sum() < 1e-8
+        assert np.abs(result.plan.sum(axis=0) - b / b.sum()).sum() < 1e-8
+
 
 class TestSinkhornEmd:
     def test_close_to_exact_emd_for_small_epsilon(self, rng):

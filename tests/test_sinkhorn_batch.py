@@ -1,0 +1,498 @@
+"""Tests for the tensor-batched Sinkhorn solver and its engine routing.
+
+The contract under test: stacking ``P`` same-support transport problems
+into one ``(P, K, L)`` iteration is *observationally identical* to
+solving them one at a time with :func:`repro.emd.sinkhorn_transport` —
+same per-pair regularisation scaling, same convergence schedule, same
+distances (to within float rounding, far inside the 1e-8 budget).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.emd import (
+    PairwiseEMDEngine,
+    emd,
+    logsumexp,
+    sinkhorn_transport,
+    sinkhorn_transport_batch,
+)
+from repro.emd.ground_distance import cross_distance_matrix
+from repro.emd.linprog_backend import solve_emd_linprog
+from repro.exceptions import ValidationError
+from repro.signatures import Signature
+
+
+def scalar_reference(cost, weights_a, weights_b, **kwargs):
+    """Per-pair scalar solves over rows of stacked weight matrices."""
+    return np.array(
+        [
+            sinkhorn_transport(cost, a, b, **kwargs).distance
+            for a, b in zip(weights_a, weights_b)
+        ]
+    )
+
+
+class TestLogsumexp:
+    def test_matches_naive_on_finite_input(self, rng):
+        values = rng.normal(size=(4, 6, 5))
+        for axis in (0, 1, 2):
+            expected = np.log(np.sum(np.exp(values), axis=axis))
+            np.testing.assert_allclose(logsumexp(values, axis=axis), expected, atol=1e-12)
+
+    def test_stable_for_large_magnitudes(self):
+        values = np.array([[1000.0, 1000.0], [-1000.0, -1000.0]])
+        out = logsumexp(values, axis=1)
+        assert out[0] == pytest.approx(1000.0 + np.log(2.0))
+        assert out[1] == pytest.approx(-1000.0 + np.log(2.0))
+
+    def test_minus_inf_entries_are_exact_zero_mass(self):
+        values = np.array([0.0, -np.inf, np.log(2.0)])
+        assert logsumexp(values, axis=0) == pytest.approx(np.log(3.0))
+
+    def test_all_minus_inf_slice_returns_minus_inf_without_warning(self):
+        values = np.array([[-np.inf, -np.inf], [0.0, 0.0]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = logsumexp(values, axis=1)
+        assert out[0] == -np.inf
+        assert out[1] == pytest.approx(np.log(2.0))
+
+
+class TestBatchedScalarParity:
+    @pytest.mark.parametrize("shape", [(3, 5), (6, 6), (1, 4), (7, 2)])
+    def test_matches_scalar_across_shapes(self, rng, shape):
+        n_rows, n_cols = shape
+        cost = rng.uniform(0.1, 5.0, size=shape)
+        weights_a = rng.uniform(0.5, 2.0, size=(9, n_rows))
+        weights_b = rng.uniform(0.5, 2.0, size=(9, n_cols))
+        result = sinkhorn_transport_batch(cost, weights_a, weights_b, epsilon=0.05)
+        expected = scalar_reference(cost, weights_a, weights_b, epsilon=0.05)
+        np.testing.assert_allclose(result.distances, expected, atol=1e-8)
+
+    def test_matches_scalar_iteration_counts(self, rng):
+        cost = rng.uniform(0.1, 5.0, size=(5, 6))
+        weights_a = rng.uniform(0.5, 2.0, size=(6, 5))
+        weights_b = rng.uniform(0.5, 2.0, size=(6, 6))
+        result = sinkhorn_transport_batch(cost, weights_a, weights_b, epsilon=0.1)
+        for p, (a, b) in enumerate(zip(weights_a, weights_b)):
+            scalar = sinkhorn_transport(cost, a, b, epsilon=0.1)
+            assert result.iterations[p] == scalar.iterations
+            assert bool(result.converged[p]) == scalar.converged
+
+    def test_zero_weight_atoms_match_scalar(self, rng):
+        # Zero weights mark atoms outside a pair's support (union-grid
+        # embedding); the scalar solver drops them before solving, and
+        # the batched solver must agree — including the per-pair median
+        # regularisation computed on the reduced support.
+        cost = rng.uniform(0.5, 5.0, size=(6, 5))
+        weights_a = rng.uniform(0.5, 2.0, size=(8, 6))
+        weights_b = rng.uniform(0.5, 2.0, size=(8, 5))
+        weights_a[0, [1, 4]] = 0.0
+        weights_a[3, :4] = 0.0
+        weights_b[5, 2] = 0.0
+        weights_b[7, :3] = 0.0
+        result = sinkhorn_transport_batch(cost, weights_a, weights_b, epsilon=0.05)
+        expected = scalar_reference(cost, weights_a, weights_b, epsilon=0.05)
+        np.testing.assert_allclose(result.distances, expected, atol=1e-8)
+
+    def test_unequal_masses_match_scalar(self, rng):
+        # Both solvers normalise each side to a probability vector, so
+        # wildly different total masses per pair must not matter.
+        cost = rng.uniform(0.1, 3.0, size=(4, 4))
+        weights_a = rng.uniform(0.5, 2.0, size=(5, 4)) * np.array(
+            [1.0, 10.0, 0.01, 100.0, 3.0]
+        )[:, None]
+        weights_b = rng.uniform(0.5, 2.0, size=(5, 4))
+        result = sinkhorn_transport_batch(cost, weights_a, weights_b, epsilon=0.05)
+        expected = scalar_reference(cost, weights_a, weights_b, epsilon=0.05)
+        np.testing.assert_allclose(result.distances, expected, atol=1e-8)
+
+    def test_per_pair_cost_tensor(self, rng):
+        costs = rng.uniform(0.1, 5.0, size=(4, 5, 6))
+        weights_a = rng.uniform(0.5, 2.0, size=(4, 5))
+        weights_b = rng.uniform(0.5, 2.0, size=(4, 6))
+        result = sinkhorn_transport_batch(costs, weights_a, weights_b, epsilon=0.05)
+        expected = np.array(
+            [
+                sinkhorn_transport(costs[p], weights_a[p], weights_b[p], epsilon=0.05).distance
+                for p in range(4)
+            ]
+        )
+        np.testing.assert_allclose(result.distances, expected, atol=1e-8)
+
+    def test_chunked_batch_matches_unchunked(self, rng):
+        cost = rng.uniform(0.1, 5.0, size=(4, 4))
+        weights_a = rng.uniform(0.5, 2.0, size=(10, 4))
+        weights_b = rng.uniform(0.5, 2.0, size=(10, 4))
+        whole = sinkhorn_transport_batch(cost, weights_a, weights_b, epsilon=0.1)
+        # Force a split every ~2 pairs.
+        chunked = sinkhorn_transport_batch(
+            cost, weights_a, weights_b, epsilon=0.1, max_batch_elements=2 * 16
+        )
+        # SIMD tails differ between array shapes by an ulp or two; the
+        # iteration trajectories themselves must be identical.
+        np.testing.assert_allclose(whole.distances, chunked.distances, atol=1e-12)
+        np.testing.assert_array_equal(whole.iterations, chunked.iterations)
+
+    def test_plans_have_correct_marginals(self, rng):
+        cost = rng.uniform(0.1, 5.0, size=(5, 6))
+        weights_a = rng.uniform(0.5, 2.0, size=(3, 5))
+        weights_b = rng.uniform(0.5, 2.0, size=(3, 6))
+        result = sinkhorn_transport_batch(
+            cost, weights_a, weights_b, epsilon=0.05, return_plans=True
+        )
+        assert result.plans.shape == (3, 5, 6)
+        norm_a = weights_a / weights_a.sum(axis=1, keepdims=True)
+        norm_b = weights_b / weights_b.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(result.plans.sum(axis=2), norm_a, atol=1e-5)
+        np.testing.assert_allclose(result.plans.sum(axis=1), norm_b, atol=1e-5)
+
+    def test_empty_batch(self):
+        result = sinkhorn_transport_batch(
+            np.ones((3, 3)), np.empty((0, 3)), np.empty((0, 3))
+        )
+        assert result.distances.size == 0
+        assert result.iterations.size == 0
+
+
+class TestEpsilonAnnealing:
+    def test_converges_to_exact_emd(self, rng):
+        cost = rng.uniform(0.2, 4.0, size=(6, 6))
+        weights_a = rng.uniform(0.5, 2.0, size=(4, 6))
+        weights_b = rng.uniform(0.5, 2.0, size=(4, 6))
+        result = sinkhorn_transport_batch(
+            cost,
+            weights_a,
+            weights_b,
+            epsilon=[0.5, 0.1, 0.02, 0.004],
+            max_iter=20000,
+        )
+        for p in range(4):
+            plan = solve_emd_linprog(
+                cost,
+                weights_a[p] / weights_a[p].sum(),
+                weights_b[p] / weights_b[p].sum(),
+            )
+            exact = plan.cost / plan.total_flow
+            assert result.distances[p] == pytest.approx(exact, rel=5e-3, abs=5e-3)
+            # Entropic plans are feasible for the unregularised problem.
+            assert result.distances[p] >= exact - 1e-8
+
+    def test_error_shrinks_along_the_schedule(self, rng):
+        cost = rng.uniform(0.2, 4.0, size=(5, 5))
+        weights_a = rng.uniform(0.5, 2.0, size=(1, 5))
+        weights_b = rng.uniform(0.5, 2.0, size=(1, 5))
+        plan = solve_emd_linprog(
+            cost, weights_a[0] / weights_a[0].sum(), weights_b[0] / weights_b[0].sum()
+        )
+        exact = plan.cost / plan.total_flow
+        errors = []
+        for schedule in ([1.0], [1.0, 0.2], [1.0, 0.2, 0.02]):
+            result = sinkhorn_transport_batch(
+                cost, weights_a, weights_b, epsilon=schedule, max_iter=10000
+            )
+            errors.append(abs(result.distances[0] - exact))
+        assert errors[2] <= errors[1] + 1e-9
+        assert errors[1] <= errors[0] + 1e-9
+
+    def test_invalid_schedules_rejected(self):
+        cost = np.ones((2, 2))
+        weights = np.ones((1, 2))
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(cost, weights, weights, epsilon=[])
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(cost, weights, weights, epsilon=[0.5, -0.1])
+
+
+class TestBatchValidation:
+    def test_wrong_weight_dimensionality_rejected(self):
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(np.ones((2, 2)), np.ones(2), np.ones((1, 2)))
+
+    def test_mismatched_pair_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(np.ones((2, 2)), np.ones((3, 2)), np.ones((2, 2)))
+
+    def test_mismatched_cost_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(np.ones((3, 2)), np.ones((1, 2)), np.ones((1, 2)))
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(np.ones((4, 2, 2)), np.ones((3, 2)), np.ones((3, 2)))
+
+    def test_negative_weights_rejected(self):
+        weights = np.array([[1.0, -0.5]])
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(np.ones((2, 2)), weights, np.ones((1, 2)))
+
+    def test_zero_mass_row_rejected(self):
+        weights = np.array([[0.0, 0.0]])
+        with pytest.raises(ValidationError):
+            sinkhorn_transport_batch(np.ones((2, 2)), weights, np.ones((1, 2)))
+
+
+def make_grid_signatures(rng, n=8, side=4, dim=2, drop=4):
+    """Histogram-like signatures over one d-dim grid with varying occupancy."""
+    axes = np.meshgrid(*[np.arange(float(side))] * dim)
+    grid = np.column_stack([axis.ravel() for axis in axes])
+    n_bins = grid.shape[0]
+    signatures = []
+    for i in range(n):
+        counts = rng.poisson(3.0, size=n_bins).astype(float)
+        if drop:
+            counts[rng.choice(n_bins, size=drop, replace=False)] = 0.0
+        if counts.sum() == 0:
+            counts[0] = 1.0
+        signatures.append(Signature(grid[counts > 0], counts[counts > 0], label=i))
+    return signatures
+
+
+class TestEngineSinkhornRouting:
+    def test_common_support_group_matches_per_pair_scalar(self, rng):
+        support = rng.normal(size=(6, 2))
+        sigs = [Signature(support, rng.uniform(0.5, 2.0, 6), label=i) for i in range(6)]
+        pairs = [(sigs[i], sigs[j]) for i in range(6) for j in range(i + 1, 6)]
+        engine = PairwiseEMDEngine(backend="sinkhorn_batch", sinkhorn_epsilon=0.05)
+        values = engine.compute_pairs(pairs)
+        cost = cross_distance_matrix(support, support, "euclidean")
+        expected = [
+            sinkhorn_transport(cost, a.weights, b.weights, epsilon=0.05).distance
+            for a, b in pairs
+        ]
+        np.testing.assert_allclose(values, expected, atol=1e-8)
+        assert engine.n_sinkhorn_batched == len(pairs)
+        assert engine.n_evaluations == len(pairs)
+
+    def test_union_embedding_matches_per_pair_scalar(self, rng):
+        # Varying bin occupancy over one grid: every pair has a distinct
+        # support pattern, and the engine embeds them into the union grid.
+        sigs = make_grid_signatures(rng)
+        pairs = [(sigs[i], sigs[j]) for i in range(8) for j in range(i + 1, 8)]
+        engine = PairwiseEMDEngine(backend="sinkhorn_batch", sinkhorn_epsilon=0.05)
+        values = engine.compute_pairs(pairs)
+        expected = []
+        for a, b in pairs:
+            cost = cross_distance_matrix(a.positions, b.positions, "euclidean")
+            expected.append(
+                sinkhorn_transport(cost, a.weights, b.weights, epsilon=0.05).distance
+            )
+        np.testing.assert_allclose(values, expected, atol=1e-8)
+        assert engine.n_sinkhorn_batched == len(pairs)
+
+    def test_union_embedding_handles_signed_zero_rows(self, rng):
+        # -0.0 and 0.0 compare equal (so np.unique collapses them) but
+        # differ bytewise; the atom-index lookup must not KeyError.
+        pos_a = np.array([[0.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
+        pos_b = np.array([[-0.0, 1.0], [1.0, 1.0], [3.0, 1.0]])
+        sig_a = Signature(pos_a, np.array([1.0, 2.0, 1.0]))
+        sig_b = Signature(pos_b, np.array([2.0, 1.0, 1.0]))
+        engine = PairwiseEMDEngine(backend="sinkhorn_batch")
+        values = engine.compute_pairs([(sig_a, sig_b)])
+        assert np.all(np.isfinite(values))
+        assert engine.n_sinkhorn_batched == 1
+        cost = cross_distance_matrix(pos_a, pos_b, "euclidean")
+        expected = sinkhorn_transport(cost, sig_a.weights, sig_b.weights).distance
+        # This adversarial pair does not converge within the default
+        # budget, so the two atom orderings accumulate independent float
+        # noise; closeness (not strict parity) is the contract here.
+        assert values[0] == pytest.approx(expected, abs=1e-5)
+
+    def test_irregular_supports_fall_back_to_exact_lp(self, rng):
+        sigs = [Signature(rng.normal(size=(6, 3)), np.ones(6)) for _ in range(4)]
+        pairs = [(sigs[i], sigs[j]) for i in range(4) for j in range(i + 1, 4)]
+        engine = PairwiseEMDEngine(backend="sinkhorn_batch")
+        values = engine.compute_pairs(pairs)
+        expected = [emd(a, b) for a, b in pairs]
+        np.testing.assert_allclose(values, expected, atol=1e-10)
+        assert engine.n_sinkhorn_batched == 0
+
+    def test_unequal_masses_use_one_functional_throughout(self, rng):
+        # The entropic path works on per-side-normalised weights; the
+        # LP fallback inside the sinkhorn_batch backend must normalise
+        # too, so a band over bags of very different sizes never mixes
+        # the balanced and partial-matching functionals.
+        support = rng.normal(size=(5, 2))
+        heavy = Signature(support, rng.uniform(0.5, 2.0, 5) * 10.0)
+        light = Signature(support, rng.uniform(0.5, 2.0, 5))
+        irregular_a = Signature(rng.normal(size=(5, 2)), np.ones(5) * 7.0)
+        irregular_b = Signature(rng.normal(size=(5, 2)), np.ones(5))
+        engine = PairwiseEMDEngine(
+            backend="sinkhorn_batch", sinkhorn_epsilon=0.002, sinkhorn_max_iter=50000
+        )
+        values = engine.compute_pairs([(heavy, light), (irregular_a, irregular_b)])
+        # Both routes agree with the exact EMD of the *normalised* pair.
+        assert values[0] == pytest.approx(
+            emd(heavy.normalized(), light.normalized()), rel=5e-3, abs=5e-3
+        )
+        assert values[1] == pytest.approx(
+            emd(irregular_a.normalized(), irregular_b.normalized()), abs=1e-10
+        )
+        # The partial-matching EMD of the raw pair would be ~0 here.
+        assert emd(heavy, light) == pytest.approx(0.0, abs=1e-9)
+        assert values[0] > 1e-3 or emd(heavy.normalized(), light.normalized()) < 1e-3
+
+    def test_exact_1d_fast_path_still_engages(self, rng):
+        sigs = [
+            Signature(rng.normal(size=(5, 1)), np.ones(5)).normalized() for _ in range(4)
+        ]
+        engine = PairwiseEMDEngine(backend="sinkhorn_batch")
+        engine.compute_pairs([(sigs[0], sigs[1]), (sigs[2], sigs[3])])
+        assert engine.n_fast_path == 2
+        assert engine.n_sinkhorn_batched == 0
+
+    def test_mixed_batch_routes_each_pair_once(self, rng):
+        support = rng.normal(size=(5, 2))
+        common = [Signature(support, rng.uniform(0.5, 2.0, 5)) for _ in range(3)]
+        irregular = [Signature(rng.normal(size=(5, 2)), np.ones(5)) for _ in range(2)]
+        one_d = [Signature(rng.normal(size=(4, 1)), np.ones(4)) for _ in range(2)]
+        pairs = [
+            (common[0], common[1]),
+            (common[1], common[2]),
+            (irregular[0], irregular[1]),
+            (one_d[0], one_d[1]),
+        ]
+        engine = PairwiseEMDEngine(backend="sinkhorn_batch")
+        values = engine.compute_pairs(pairs)
+        assert values.shape == (4,)
+        assert np.all(np.isfinite(values))
+        assert engine.n_fast_path == 1
+        assert engine.n_sinkhorn_batched == 2
+        assert engine.n_evaluations == 4
+
+    def test_epsilon_knob_changes_bias(self, rng):
+        support = rng.normal(size=(6, 2))
+        sigs = [Signature(support, rng.uniform(0.5, 2.0, 6)) for _ in range(2)]
+        exact = emd(sigs[0], sigs[1])
+        coarse = PairwiseEMDEngine(backend="sinkhorn_batch", sinkhorn_epsilon=1.0)
+        fine = PairwiseEMDEngine(
+            backend="sinkhorn_batch", sinkhorn_epsilon=0.005, sinkhorn_max_iter=20000
+        )
+        coarse_value = coarse.compute(sigs[0], sigs[1])
+        fine_value = fine.compute(sigs[0], sigs[1])
+        assert abs(fine_value - exact) <= abs(coarse_value - exact) + 1e-9
+
+    def test_nonconverged_solves_warn_and_are_counted(self, rng):
+        support = rng.normal(size=(6, 2))
+        sigs = [Signature(support, rng.uniform(0.5, 2.0, 6)) for _ in range(3)]
+        pairs = [(sigs[0], sigs[1]), (sigs[1], sigs[2])]
+        engine = PairwiseEMDEngine(
+            backend="sinkhorn_batch", sinkhorn_epsilon=0.005, sinkhorn_max_iter=3
+        )
+        with pytest.warns(RuntimeWarning, match="materially off-marginal"):
+            values = engine.compute_pairs(pairs)
+        assert np.all(np.isfinite(values))
+        assert engine.n_sinkhorn_nonconverged == 2
+
+    def test_banded_matrix_with_sinkhorn_backend(self, rng):
+        # Default settings on the backend's flagship workload must run
+        # clean: tol-misses at the rounding floor are routine and must
+        # not surface as RuntimeWarnings.
+        sigs = make_grid_signatures(rng, n=10)
+        engine = PairwiseEMDEngine(backend="sinkhorn_batch")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            banded = engine.banded_matrix(sigs, 4)
+        dense = banded.to_dense()
+        assert np.all(np.isfinite(dense))
+        assert engine.n_sinkhorn_batched > 0
+
+
+class TestDetectEndToEnd:
+    def _bags(self, rng):
+        bags = [rng.normal(0.0, 1.0, size=(40, 2)) for _ in range(7)]
+        bags += [rng.normal(3.0, 1.0, size=(40, 2)) for _ in range(7)]
+        return bags
+
+    def test_seeded_detect_parity_with_exact_backend(self, rng):
+        from repro.core import BagChangePointDetector, DetectorConfig
+
+        bags = self._bags(rng)
+        base = dict(
+            tau=3,
+            tau_test=3,
+            signature_method="histogram",
+            bins=4,
+            histogram_range=[(-4.0, 7.0), (-4.0, 7.0)],
+            n_bootstrap=40,
+            random_state=11,
+        )
+        exact = BagChangePointDetector(DetectorConfig(**base)).detect(bags)
+        approx = BagChangePointDetector(
+            DetectorConfig(
+                emd_backend="sinkhorn_batch",
+                sinkhorn_epsilon=0.005,
+                sinkhorn_max_iter=20000,
+                **base,
+            )
+        ).detect(bags)
+        # Same seed, same inspection points; scores track the exact ones
+        # closely at small epsilon and the alert pattern is identical.
+        assert [p.time for p in approx.points] == [p.time for p in exact.points]
+        np.testing.assert_allclose(approx.scores, exact.scores, rtol=0.05, atol=0.05)
+        assert [p.alert for p in approx.points] == [p.alert for p in exact.points]
+
+    def test_detect_uses_batched_solver_for_histograms(self, rng):
+        from repro.core import BagChangePointDetector, DetectorConfig
+
+        bags = self._bags(rng)
+        detector = BagChangePointDetector(
+            DetectorConfig(
+                tau=3,
+                tau_test=3,
+                signature_method="histogram",
+                bins=4,
+                histogram_range=[(-4.0, 7.0), (-4.0, 7.0)],
+                emd_backend="sinkhorn_batch",
+                n_bootstrap=20,
+                random_state=0,
+            )
+        )
+        detector.detect(bags)
+        assert detector._engine.n_sinkhorn_batched > 0
+
+    def test_online_offline_parity_with_sinkhorn_backend(self, rng):
+        from repro.core import BagChangePointDetector, DetectorConfig, OnlineBagDetector
+
+        bags = self._bags(rng)
+        cfg = dict(
+            tau=3,
+            tau_test=3,
+            signature_method="histogram",
+            bins=4,
+            histogram_range=[(-4.0, 7.0), (-4.0, 7.0)],
+            emd_backend="sinkhorn_batch",
+            n_bootstrap=30,
+            random_state=5,
+        )
+        offline = BagChangePointDetector(DetectorConfig(**cfg)).detect(bags)
+        online_points = OnlineBagDetector(DetectorConfig(**cfg)).push_many(bags)
+        assert len(online_points) == len(offline.points)
+        # The offline detector batches the whole band at once while the
+        # online detector batches one push at a time, so the two embed
+        # signatures into *different* union grids; distances then agree to
+        # the convergence tolerance (not bitwise), and the log-based
+        # scores to ~1e-5.
+        for off, on in zip(offline.points, online_points):
+            assert off.time == on.time
+            assert off.score == pytest.approx(on.score, abs=1e-4, rel=1e-3)
+
+    def test_invalid_backend_rejected_in_config(self):
+        from repro.core import DetectorConfig
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(emd_backend="sinkhorn")
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(sinkhorn_epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(sinkhorn_max_iter=0)
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(sinkhorn_max_iter=100.5)
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(sinkhorn_epsilon=float("nan"))
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(sinkhorn_epsilon=float("inf"))
+        with pytest.raises(ConfigurationError):
+            PairwiseEMDEngine(sinkhorn_epsilon=float("nan"))
