@@ -1,0 +1,180 @@
+"""Benchmark: per-pair vs block-diagonal batched exact-LP EMD solves.
+
+The detector's exact band build issues one
+:func:`repro.emd.solve_emd_linprog` call per in-band signature pair —
+thousands of small HiGHS models whose per-call set-up cost dominates the
+actual simplex work whenever signatures share a support (d-dimensional
+histogram grids).  :func:`repro.emd.solve_emd_linprog_batch` stacks many
+pairs into one sparse block-diagonal LP per HiGHS call, paying the model
+set-up once per chunk while producing *exactly* the same distances (same
+LP, same solver — unlike the entropic ``sinkhorn_batch`` path there is
+no approximation to trade away).
+
+Two sections:
+
+* **solver** — the enforced comparison: the band pairs of a
+  common-support histogram sequence solved per-pair vs batched, with a
+  strict 1e-9 parity check on the resulting distances;
+* **engine** — context: the full band build over histogram signatures
+  with varying bin occupancy through :class:`repro.emd.PairwiseEMDEngine`,
+  ``backend="linprog"`` (per-pair LP) vs ``backend="linprog_batch"``
+  (support grouping + union embedding + stacked LPs).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_linprog_batch.py          # full
+    PYTHONPATH=src python benchmarks/bench_linprog_batch.py --quick  # CI smoke
+
+In full mode the script exits non-zero unless the batched solver is at
+least ``--threshold`` times faster than the per-pair loop (default 3x).
+The 1e-9 parity gate applies in both modes — exactness is the point of
+this backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.emd import (
+    BandedDistanceMatrix,
+    PairwiseEMDEngine,
+    solve_emd_linprog,
+    solve_emd_linprog_batch,
+)
+from repro.emd.ground_distance import cross_distance_matrix
+from repro.signatures import Signature
+
+PARITY_TOL = 1e-9
+
+
+def make_histogram_band(n_bags, bandwidth, side, dim, seed):
+    """Supply/demand rows for every in-band pair of a histogram sequence."""
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.arange(float(side))] * dim)
+    grid = np.column_stack([axis.ravel() for axis in axes])
+    n_bins = grid.shape[0]
+    weights = rng.uniform(0.5, 3.0, size=(n_bags, n_bins))
+    rows, cols = BandedDistanceMatrix(n_bags, bandwidth).pair_indices()
+    cost = cross_distance_matrix(grid, grid, "euclidean")
+    return grid, cost, weights[rows], weights[cols]
+
+
+def make_histogram_signatures(n_bags, side, dim, seed):
+    """Histogram signatures with varying bin occupancy over one grid."""
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.arange(float(side))] * dim)
+    grid = np.column_stack([axis.ravel() for axis in axes])
+    signatures = []
+    for i in range(n_bags):
+        counts = rng.poisson(3.0, size=grid.shape[0]).astype(float)
+        if counts.sum() == 0:
+            counts[0] = 1.0
+        signatures.append(Signature(grid[counts > 0], counts[counts > 0], label=i))
+    return signatures
+
+
+def timed(func):
+    start = time.perf_counter()
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bags", type=int, default=60, help="sequence length")
+    parser.add_argument("--bandwidth", type=int, default=10, help="band width tau + tau'")
+    parser.add_argument("--side", type=int, default=4, help="histogram bins per dimension")
+    parser.add_argument("--dim", type=int, default=2, help="grid dimensionality")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threshold", type=float, default=3.0,
+        help="minimum batched-vs-per-pair speed-up required in full mode",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small problem for CI smoke runs; reports but does not enforce "
+        "the speed-up threshold (the 1e-9 parity gate still applies)",
+    )
+    args = parser.parse_args(argv)
+
+    n_bags = 30 if args.quick else args.bags
+    bandwidth = 6 if args.quick else args.bandwidth
+
+    # ------------------------------------------------------------------ #
+    # Solver section: identical band pairs, per-pair loop vs stacked LPs.
+    # ------------------------------------------------------------------ #
+    grid, cost, supply, demand = make_histogram_band(
+        n_bags, bandwidth, args.side, args.dim, args.seed
+    )
+    n_pairs = supply.shape[0]
+
+    def per_pair():
+        out = np.empty(n_pairs)
+        for p in range(n_pairs):
+            plan = solve_emd_linprog(cost, supply[p], demand[p])
+            out[p] = plan.cost / plan.total_flow if plan.total_flow > 0 else 0.0
+        return out
+
+    def batched():
+        return solve_emd_linprog_batch(cost, supply, demand).distances
+
+    loop_time, loop_values = timed(per_pair)
+    batch_time, batch_values = timed(batched)
+    max_diff = float(np.abs(loop_values - batch_values).max())
+    speedup = loop_time / batch_time if batch_time > 0 else float("inf")
+
+    print(
+        f"\nsolver: {n_pairs} band pairs ({n_bags} bags, width {bandwidth}) "
+        f"on a {args.side}^{args.dim} grid ({grid.shape[0]} atoms)"
+    )
+    print(f"{'method':<16}{'pairs/s':>12}{'seconds':>10}{'speed-up':>10}")
+    for label, elapsed in (("per-pair", loop_time), ("batched", batch_time)):
+        rate = n_pairs / elapsed if elapsed > 0 else float("inf")
+        ratio = loop_time / elapsed if elapsed > 0 else float("inf")
+        print(f"{label:<16}{rate:>12.1f}{elapsed:>10.3f}{ratio:>10.2f}x")
+    print(f"max |batched - per-pair| = {max_diff:.2e}")
+
+    # ------------------------------------------------------------------ #
+    # Engine section: band build, per-pair LP vs grouped stacked LPs.
+    # ------------------------------------------------------------------ #
+    signatures = make_histogram_signatures(n_bags, args.side, args.dim, args.seed)
+
+    lp_time, lp_band = timed(
+        lambda: PairwiseEMDEngine(backend="linprog").banded_matrix(
+            signatures, bandwidth
+        )
+    )
+    batch_engine = PairwiseEMDEngine(backend="linprog_batch")
+    engine_time, batch_band = timed(
+        lambda: batch_engine.banded_matrix(signatures, bandwidth)
+    )
+    engine_diff = float(np.nanmax(np.abs(lp_band.band - batch_band.band)))
+    engine_speedup = lp_time / engine_time if engine_time > 0 else float("inf")
+    print(
+        f"\nengine: band build, {n_bags} bags, width {bandwidth} "
+        f"({batch_engine.n_evaluations} pairs, "
+        f"{batch_engine.n_linprog_batched} batched)"
+    )
+    print(f"{'backend':<16}{'seconds':>10}{'speed-up':>10}")
+    print(f"{'linprog':<16}{lp_time:>10.3f}{1.0:>10.2f}x")
+    print(f"{'linprog_batch':<16}{engine_time:>10.3f}{engine_speedup:>10.2f}x")
+    print(f"max band |linprog_batch - linprog| = {engine_diff:.2e}")
+
+    if max_diff > PARITY_TOL or engine_diff > PARITY_TOL:
+        print(
+            f"FAIL: batched and per-pair exact LP disagree by "
+            f"{max(max_diff, engine_diff):.2e} > {PARITY_TOL:.0e}"
+        )
+        return 1
+    if not args.quick and speedup < args.threshold:
+        print(f"FAIL: batched speed-up {speedup:.2f}x below threshold {args.threshold}x")
+        return 1
+    print(f"OK: batched exact LP {speedup:.2f}x faster than per-pair, parity {max_diff:.2e}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

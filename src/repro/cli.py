@@ -75,7 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--emd-backend",
         choices=EMD_SOLVERS,
         default="auto",
-        help="transportation solver: exact (auto/linprog/simplex) or the "
+        help="transportation solver: exact per-pair (auto/linprog/simplex), "
+        "the block-diagonal batched exact LP (linprog_batch) or the "
         "tensor-batched entropic approximation (sinkhorn_batch)",
     )
     parser.add_argument(

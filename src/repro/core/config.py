@@ -42,15 +42,19 @@ class DetectorConfig:
     ground_distance:
         Ground distance of the EMD (Section 3.2).
     emd_backend:
-        ``"auto"``, ``"linprog"``, ``"simplex"`` (exact solvers) or
-        ``"sinkhorn_batch"`` — the tensor-batched entropic solver, which
-        groups common-support pairs (e.g. histogram signatures over a
-        shared grid) into single vectorised solves.  Exact 1-D pairs
-        still take the closed-form fast path; irregular supports fall
-        back to the exact LP.  Note ``"sinkhorn_batch"`` computes the
+        ``"auto"``, ``"linprog"``, ``"simplex"`` (exact per-pair
+        solvers), ``"linprog_batch"`` — the block-diagonal batched
+        *exact* LP, which stacks common-support pairs (e.g. histogram
+        signatures over a shared grid) into single HiGHS solves with
+        distances exactly equal to ``"linprog"`` — or
+        ``"sinkhorn_batch"`` — the tensor-batched *entropic* solver over
+        the same support grouping.  Exact 1-D pairs always take the
+        closed-form fast path; irregular supports fall back to the
+        per-pair exact LP.  Note ``"sinkhorn_batch"`` computes the
         *normalised-mass* (balanced) EMD throughout — equal to the
         paper's partial-matching EMD whenever bags carry equal total
-        mass, an approximation otherwise.
+        mass, an approximation otherwise — while ``"linprog_batch"``
+        keeps the paper's partial-matching functional unchanged.
     sinkhorn_epsilon:
         Unit-free regularisation strength of the batched Sinkhorn solver
         (smaller = closer to the exact EMD but slower); only used with

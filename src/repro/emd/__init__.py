@@ -17,6 +17,7 @@ from .ground_distance import (
     squared_euclidean_cross_distance,
 )
 from .linprog_backend import solve_emd_linprog
+from .linprog_batch import LinprogBatchResult, solve_emd_linprog_batch
 from .matrices import EMDCache, cross_emd_matrix, emd_matrix
 from .numerics import logsumexp
 from .one_dimensional import emd_1d_histograms, wasserstein_1d
@@ -44,6 +45,8 @@ __all__ = [
     "chebyshev_cross_distance",
     "resolve_ground_distance",
     "solve_emd_linprog",
+    "LinprogBatchResult",
+    "solve_emd_linprog_batch",
     "EMDCache",
     "emd_matrix",
     "cross_emd_matrix",

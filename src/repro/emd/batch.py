@@ -19,15 +19,28 @@ provides the two pieces the detectors build on instead:
   a common support — histogram-signature batches solve many LPs over one
   cost matrix instead of rebuilding it per pair.
 
-With ``backend="sinkhorn_batch"`` the engine additionally groups pending
-pairs by *support signature* (the byte pattern of their positions
-arrays) and routes each group through the tensor-batched entropic solver
-:func:`~repro.emd.sinkhorn_batch.sinkhorn_transport_batch` over one
-shared cost kernel.  Groups of pairs whose supports differ but whose
-union stays small (d-dimensional histogram signatures with varying bin
-occupancy over one grid) are embedded into the union support with
-zero-weight atoms and solved as a single batch; only genuinely irregular
-supports fall back to the exact per-pair LP.
+With the batched backends the engine additionally groups pending pairs
+by *support signature* (the byte pattern of their positions arrays) and
+routes each group through a multi-pair solver over one shared cost
+kernel:
+
+* ``backend="sinkhorn_batch"`` — the tensor-batched entropic solver
+  :func:`~repro.emd.sinkhorn_batch.sinkhorn_transport_batch`
+  (approximate; normalised-mass balanced transport);
+* ``backend="linprog_batch"`` — the block-diagonal exact LP
+  :func:`~repro.emd.linprog_batch.solve_emd_linprog_batch`, one HiGHS
+  call per support group with distances *exactly* equal to per-pair
+  :func:`~repro.emd.linprog_backend.solve_emd_linprog`.
+
+Groups of pairs whose supports differ but whose union stays small
+(d-dimensional histogram signatures with varying bin occupancy over one
+grid) are embedded into the union support with zero-weight atoms and
+solved as a single batch; only genuinely irregular supports fall back to
+the per-pair LP.  A :class:`~repro.exceptions.SolverError` raised inside
+any batched group solve is re-raised with the
+:meth:`~PairwiseEMDEngine.compute_pairs` positions of the pairs that
+were stacked into the failing group (``SolverError.pair_indices``), so
+batching never loses track of which inputs failed.
 """
 
 from __future__ import annotations
@@ -40,20 +53,21 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._validation import check_positive_int
-from ..exceptions import ConfigurationError, ReproError, ValidationError
+from ..exceptions import ConfigurationError, ReproError, SolverError, ValidationError
 from ..signatures import Signature
 from .distance import _can_use_1d_fast_path, emd
 from .ground_distance import GroundDistance, cross_distance_matrix
 from .linprog_backend import solve_emd_linprog
+from .linprog_batch import solve_emd_linprog_batch
 from .sinkhorn_batch import sinkhorn_transport_batch
 from .transportation import solve_unbalanced_transportation
 
 PARALLEL_BACKENDS = ("serial", "thread", "process")
 
-#: Solver backends understood by :class:`PairwiseEMDEngine` (the exact
-#: solvers accepted by :func:`repro.emd.emd` plus the batched entropic
-#: approximation).
-EMD_SOLVERS = ("auto", "linprog", "simplex", "sinkhorn_batch")
+#: Solver backends understood by :class:`PairwiseEMDEngine`: the exact
+#: solvers accepted by :func:`repro.emd.emd`, the block-diagonal batched
+#: exact LP, and the batched entropic approximation.
+EMD_SOLVERS = ("auto", "linprog", "linprog_batch", "simplex", "sinkhorn_batch")
 
 
 class BandedDistanceMatrix:
@@ -345,11 +359,13 @@ class PairwiseEMDEngine:
     ----------
     ground_distance, backend:
         Forwarded to :func:`repro.emd.emd` for every pair.  ``backend``
-        additionally accepts ``"sinkhorn_batch"``, which groups pairs by
-        support signature and solves whole groups through the
-        tensor-batched entropic solver (exact 1-D pairs still take the
-        closed-form fast path; irregular supports fall back to the exact
-        LP).
+        additionally accepts two *batched* solvers that group pairs by
+        support signature and solve whole groups at once:
+        ``"sinkhorn_batch"`` (tensor-batched entropic approximation) and
+        ``"linprog_batch"`` (block-diagonal exact LP — one HiGHS call
+        per support group, distances exactly equal to per-pair
+        ``"linprog"``).  Exact 1-D pairs still take the closed-form fast
+        path; irregular supports fall back to the per-pair LP.
     parallel_backend:
         ``"serial"`` (default), ``"thread"`` or ``"process"``.  Pools only
         engage for pairs that need a transportation solve; the 1-D fast
@@ -376,6 +392,9 @@ class PairwiseEMDEngine:
     n_sinkhorn_batched:
         How many pair distances were solved by the tensor-batched
         Sinkhorn solver (grouped or union-embedded supports).
+    n_linprog_batched:
+        How many pair distances were solved by the block-diagonal
+        batched exact LP (grouped or union-embedded supports).
     n_sinkhorn_nonconverged:
         How many of those exhausted ``sinkhorn_max_iter`` without
         meeting the marginal tolerance.  Such distances are still
@@ -436,6 +455,7 @@ class PairwiseEMDEngine:
         self.n_cost_cache_hits = 0
         self.n_sinkhorn_batched = 0
         self.n_sinkhorn_nonconverged = 0
+        self.n_linprog_batched = 0
         self._pool = None
         self._pool_failed = False
         self._closed = False
@@ -547,11 +567,13 @@ class PairwiseEMDEngine:
         return float(self.compute_pairs([(sig_a, sig_b)])[0])
 
     def _fast_path_eligible(self, sig_a: Signature, sig_b: Signature) -> bool:
-        # The closed-form 1-D path is exact, so it also serves the batched
-        # Sinkhorn backend (no point approximating what has a closed form).
-        return self.backend in ("auto", "sinkhorn_batch") and _can_use_1d_fast_path(
-            sig_a, sig_b, self.ground_distance
-        )
+        # The closed-form 1-D path is exact, so it also serves both batched
+        # backends (no point stacking a solve that has a closed form).
+        return self.backend in (
+            "auto",
+            "sinkhorn_batch",
+            "linprog_batch",
+        ) and _can_use_1d_fast_path(sig_a, sig_b, self.ground_distance)
 
     def _solve_general(
         self,
@@ -626,48 +648,69 @@ class PairwiseEMDEngine:
         if fast:
             out[fast] = _batched_wasserstein_1d([pairs[p] for p in fast])
         if general:
-            general_pairs = [pairs[p] for p in general]
-            if self.backend == "sinkhorn_batch":
-                out[general] = self._solve_sinkhorn_batch(general_pairs)
+            if self.backend in ("sinkhorn_batch", "linprog_batch"):
+                self._solve_batched_backend(pairs, general, out)
             else:
-                out[general] = self._solve_general(general_pairs)
+                out[general] = self._solve_general([pairs[p] for p in general])
         self.n_evaluations += len(pairs)
         self.n_fast_path += len(fast)
         return out
 
     # ------------------------------------------------------------------ #
-    # Batched Sinkhorn routing
+    # Batched multi-pair routing (tensor Sinkhorn and block-diagonal LP)
     # ------------------------------------------------------------------ #
     @staticmethod
     def _support_key(positions: np.ndarray) -> tuple:
         return (positions.shape, positions.tobytes())
 
-    def _solve_sinkhorn_batch(
-        self, pairs: List[Tuple[Signature, Signature]]
-    ) -> np.ndarray:
-        """Route pairs through the tensor-batched Sinkhorn solver.
+    def _translate_group_error(
+        self, exc: SolverError, members: List[int]
+    ) -> SolverError:
+        """Batch-local failure indices -> :meth:`compute_pairs` positions.
+
+        A stacked solve reports which rows of *its* batch failed (or
+        nothing, when the failure is not attributable); either way the
+        caller needs to know which of the pairs it submitted were stacked
+        into the failing solve, so re-raise with the group's positions in
+        the original ``compute_pairs`` batch.
+        """
+        if exc.pair_indices is None:
+            failing = [int(p) for p in members]
+        else:
+            failing = [int(members[i]) for i in exc.pair_indices]
+        return SolverError(
+            f"{exc} [pairs at compute_pairs positions {failing} were part "
+            "of the failing batched solve]",
+            pair_indices=failing,
+        )
+
+    def _solve_batched_backend(
+        self,
+        pairs: List[Tuple[Signature, Signature]],
+        indices: List[int],
+        out: np.ndarray,
+    ) -> None:
+        """Route pairs through a batched multi-pair solver.
 
         Pairs are grouped by support signature: every group whose pairs
         share one (A-support, B-support) pattern is solved over a single
-        shared cost kernel.  Leftover singleton pairs are embedded into
-        the union of their supports (zero-weight atoms for missing
-        positions) when that union stays small — the d-dimensional
-        common-grid histogram case — and only genuinely irregular
-        supports fall back to the exact per-pair LP (on *normalised*
-        signatures: like the scalar Sinkhorn backend, this solver
-        computes the balanced normalised-mass EMD, which equals the
-        paper's partial-matching EMD exactly when the two masses are
-        equal and approximates it otherwise).
+        shared cost kernel — one tensor-batched Sinkhorn iteration
+        (``backend="sinkhorn_batch"``) or one block-diagonal HiGHS LP
+        (``backend="linprog_batch"``).  Leftover singleton pairs are
+        embedded into the union of their supports (zero-weight atoms for
+        missing positions) when that union stays small — the
+        d-dimensional common-grid histogram case — and only genuinely
+        irregular supports fall back to the per-pair LP.  ``indices``
+        are positions into ``pairs``/``out``, so failure context and
+        results keep the caller's frame of reference.
         """
-        out = np.empty(len(pairs), dtype=float)
         by_dim: Dict[int, List[int]] = {}
-        for p, (sig_a, _) in enumerate(pairs):
-            by_dim.setdefault(sig_a.dimension, []).append(p)
-        for indices in by_dim.values():
-            self._solve_sinkhorn_dim_group(pairs, indices, out)
-        return out
+        for p in indices:
+            by_dim.setdefault(pairs[p][0].dimension, []).append(p)
+        for dim_indices in by_dim.values():
+            self._solve_batched_dim_group(pairs, dim_indices, out)
 
-    def _solve_sinkhorn_group(
+    def _solve_group(
         self,
         members: List[int],
         cost: np.ndarray,
@@ -675,13 +718,25 @@ class PairwiseEMDEngine:
         weights_b: np.ndarray,
         out: np.ndarray,
     ) -> None:
-        result = sinkhorn_transport_batch(
-            cost,
-            weights_a,
-            weights_b,
-            epsilon=self.sinkhorn_epsilon,
-            max_iter=self.sinkhorn_max_iter,
-        )
+        """One stacked solve for a support group, in the active backend."""
+        if self.backend == "linprog_batch":
+            try:
+                result = solve_emd_linprog_batch(cost, weights_a, weights_b)
+            except SolverError as exc:
+                raise self._translate_group_error(exc, members) from exc
+            out[members] = result.distances
+            self.n_linprog_batched += len(members)
+            return
+        try:
+            result = sinkhorn_transport_batch(
+                cost,
+                weights_a,
+                weights_b,
+                epsilon=self.sinkhorn_epsilon,
+                max_iter=self.sinkhorn_max_iter,
+            )
+        except SolverError as exc:
+            raise self._translate_group_error(exc, members) from exc
         out[members] = result.distances
         self.n_sinkhorn_batched += len(members)
         self.n_sinkhorn_nonconverged += int(np.count_nonzero(~result.converged))
@@ -699,7 +754,33 @@ class PairwiseEMDEngine:
                 stacklevel=4,
             )
 
-    def _solve_sinkhorn_dim_group(
+    def _solve_irregular_singles(
+        self,
+        pairs: List[Tuple[Signature, Signature]],
+        singles: List[int],
+        out: np.ndarray,
+    ) -> None:
+        """Per-pair fallback for supports no batched solve can absorb."""
+        if self.backend == "linprog_batch":
+            # Same functional as the stacked blocks (exact
+            # partial-matching EMD), so no normalisation; the per-pair
+            # solves still go through the worker pool when one is
+            # configured.
+            out[singles] = self._solve_general(
+                [pairs[p] for p in singles], backend="linprog"
+            )
+            return
+        # Normalise before the exact solve so the whole backend computes
+        # one functional: the batched entropic path works on
+        # per-side-normalised weights (balanced transport), whereas the
+        # raw LP computes the partial-matching EMD — for unequal-mass
+        # signatures those differ even as epsilon -> 0.
+        out[singles] = self._solve_general(
+            [(pairs[p][0].normalized(), pairs[p][1].normalized()) for p in singles],
+            backend="auto",
+        )
+
+    def _solve_batched_dim_group(
         self,
         pairs: List[Tuple[Signature, Signature]],
         indices: List[int],
@@ -724,7 +805,7 @@ class PairwiseEMDEngine:
             cost = self._cost_between(supports[key_a], supports[key_b])
             weights_a = np.stack([pairs[p][0].weights for p in members])
             weights_b = np.stack([pairs[p][1].weights for p in members])
-            self._solve_sinkhorn_group(members, cost, weights_a, weights_b, out)
+            self._solve_group(members, cost, weights_a, weights_b, out)
         if not singles:
             return
 
@@ -773,20 +854,9 @@ class PairwiseEMDEngine:
                     sig_b.weights,
                 )
             cost = self._cost_between(union, union)
-            self._solve_sinkhorn_group(singles, cost, weights_a, weights_b, out)
+            self._solve_group(singles, cost, weights_a, weights_b, out)
         else:
-            # Normalise before the exact solve so the whole backend
-            # computes one functional: the batched entropic path works on
-            # per-side-normalised weights (balanced transport), whereas
-            # the raw LP computes the partial-matching EMD — for
-            # unequal-mass signatures those differ even as epsilon -> 0.
-            out[singles] = self._solve_general(
-                [
-                    (pairs[p][0].normalized(), pairs[p][1].normalized())
-                    for p in singles
-                ],
-                backend="auto",
-            )
+            self._solve_irregular_singles(pairs, singles, out)
 
     def distances_from(
         self, signature: Signature, others: Sequence[Signature]

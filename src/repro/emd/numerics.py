@@ -1,15 +1,76 @@
-"""Shared numerical kernels for the transportation solvers.
+"""Shared numerical kernels and validation for the transportation solvers.
 
 The scalar and the batched Sinkhorn solvers both run log-domain matrix
 scaling, whose inner loop is a stabilised log-sum-exp reduction.  They
 must share one implementation: the batched solver's parity guarantee
 (batched distances match the per-pair solver to within float rounding)
 relies on both paths performing bitwise-identical reductions.
+
+The two batched multi-pair solvers (tensor Sinkhorn and block-diagonal
+LP) also share one input contract — a ``(K, L)`` or ``(P, K, L)`` cost
+tensor against ``(P, K)``/``(P, L)`` non-negative weight rows — so its
+validation lives here too, keeping the two backends' error behaviour
+from drifting apart.
 """
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
+
+from ..exceptions import ValidationError
+
+
+def check_weight_rows(weights: np.ndarray, name: str) -> np.ndarray:
+    """Validate a ``(P, n_atoms)`` batch of non-negative weight rows.
+
+    Rows are *not* normalised and zero-total rows are *not* rejected
+    here — the solvers disagree on both (balanced Sinkhorn normalises
+    and needs positive mass; the partial-matching LP takes raw weights
+    and treats a zero-total row as a trivially solved pair).
+    """
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be a 2-D (P, n_atoms) array")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    if np.any(arr < 0):
+        raise ValidationError(f"{name} must be non-negative")
+    return arr
+
+
+def check_batch_shapes(
+    cost: np.ndarray,
+    weights_a: np.ndarray,
+    weights_b: np.ndarray,
+    names: Tuple[str, str] = ("weights_a", "weights_b"),
+) -> Tuple[np.ndarray, int]:
+    """Validate a batched transport problem's cost/weights geometry.
+
+    ``weights_a`` and ``weights_b`` must already be validated 2-D rows
+    (see :func:`check_weight_rows`); ``names`` labels them in error
+    messages.  Returns the cost as a float array together with the pair
+    count ``P``.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim not in (2, 3):
+        raise ValidationError("cost must have shape (K, L) or (P, K, L)")
+    n_pairs = weights_a.shape[0]
+    if weights_b.shape[0] != n_pairs:
+        raise ValidationError(
+            f"{names[0]} has {n_pairs} rows but {names[1]} has {weights_b.shape[0]}"
+        )
+    expected = (weights_a.shape[1], weights_b.shape[1])
+    if cost.shape[-2:] != expected:
+        raise ValidationError(
+            f"cost has shape {cost.shape}, expected trailing dimensions {expected}"
+        )
+    if cost.ndim == 3 and cost.shape[0] != n_pairs:
+        raise ValidationError(
+            f"per-pair cost has {cost.shape[0]} matrices for {n_pairs} pairs"
+        )
+    return cost, n_pairs
 
 
 def logsumexp(values: np.ndarray, axis: int, *, overwrite_input: bool = False) -> np.ndarray:

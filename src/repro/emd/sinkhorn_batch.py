@@ -39,7 +39,7 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..exceptions import SolverError, ValidationError
-from .numerics import logsumexp
+from .numerics import check_batch_shapes, check_weight_rows, logsumexp
 
 # Cap on the number of elements of the (P, K, L) iteration tensor; larger
 # batches are split along P so memory stays bounded (~32 MB per temp).
@@ -79,13 +79,8 @@ class SinkhornBatchResult:
 
 
 def _check_weight_rows(weights: np.ndarray, name: str) -> np.ndarray:
-    arr = np.asarray(weights, dtype=float)
-    if arr.ndim != 2:
-        raise ValidationError(f"{name} must be a 2-D (P, n_atoms) array")
-    if arr.size and not np.all(np.isfinite(arr)):
-        raise ValidationError(f"{name} contains NaN or infinite values")
-    if np.any(arr < 0):
-        raise ValidationError(f"{name} must be non-negative")
+    """Shared row validation plus the balanced solver's normalisation."""
+    arr = check_weight_rows(weights, name)
     totals = arr.sum(axis=1)
     if np.any(totals <= 0):
         raise ValidationError(f"every row of {name} must have positive total mass")
@@ -270,25 +265,10 @@ def sinkhorn_transport_batch(
         Split the batch along ``P`` whenever ``P * K * L`` exceeds this,
         bounding peak memory without changing any result.
     """
-    cost = np.asarray(cost, dtype=float)
-    if cost.ndim not in (2, 3):
-        raise ValidationError("cost must have shape (K, L) or (P, K, L)")
     a = _check_weight_rows(weights_a, "weights_a")
     b = _check_weight_rows(weights_b, "weights_b")
-    n_pairs = a.shape[0]
-    if b.shape[0] != n_pairs:
-        raise ValidationError(
-            f"weights_a has {n_pairs} rows but weights_b has {b.shape[0]}"
-        )
+    cost, n_pairs = check_batch_shapes(cost, a, b)
     expected = (a.shape[1], b.shape[1])
-    if cost.shape[-2:] != expected:
-        raise ValidationError(
-            f"cost has shape {cost.shape}, expected trailing dimensions {expected}"
-        )
-    if cost.ndim == 3 and cost.shape[0] != n_pairs:
-        raise ValidationError(
-            f"per-pair cost has {cost.shape[0]} matrices for {n_pairs} pairs"
-        )
     schedule = _epsilon_schedule(epsilon)
     max_iter = check_positive_int(max_iter, "max_iter")
     check_every = check_positive_int(check_every, "check_every")
@@ -306,20 +286,31 @@ def sinkhorn_transport_batch(
     # Memory cap: recurse on chunks of pairs; results are independent.
     if n_pairs > 1 and n_pairs * n_rows * n_cols > max_batch_elements:
         chunk = max(1, max_batch_elements // (n_rows * n_cols))
-        parts = [
-            sinkhorn_transport_batch(
-                cost if cost.ndim == 2 else cost[start : start + chunk],
-                a[start : start + chunk],
-                b[start : start + chunk],
-                epsilon=schedule,
-                max_iter=max_iter,
-                tol=tol,
-                check_every=check_every,
-                return_plans=return_plans,
-                max_batch_elements=max_batch_elements,
-            )
-            for start in range(0, n_pairs, chunk)
-        ]
+        parts = []
+        for start in range(0, n_pairs, chunk):
+            try:
+                parts.append(
+                    sinkhorn_transport_batch(
+                        cost if cost.ndim == 2 else cost[start : start + chunk],
+                        a[start : start + chunk],
+                        b[start : start + chunk],
+                        epsilon=schedule,
+                        max_iter=max_iter,
+                        tol=tol,
+                        check_every=check_every,
+                        return_plans=return_plans,
+                        max_batch_elements=max_batch_elements,
+                    )
+                )
+            except SolverError as exc:
+                if exc.pair_indices is None:
+                    raise
+                # Chunk-local pair indices -> whole-batch pair indices.
+                indices = [start + i for i in exc.pair_indices]
+                raise SolverError(
+                    f"{exc} (whole-batch pair indices {indices})",
+                    pair_indices=indices,
+                ) from exc
         return SinkhornBatchResult(
             distances=np.concatenate([part.distances for part in parts]),
             iterations=np.concatenate([part.iterations for part in parts]),
@@ -358,9 +349,11 @@ def sinkhorn_transport_batch(
     )
     plan = np.exp(log_plan)
     if not np.all(np.isfinite(plan)):
-        bad = int(np.argmax(~np.isfinite(plan).all(axis=(1, 2))))
+        bad = np.flatnonzero(~np.isfinite(plan).all(axis=(1, 2)))
         raise SolverError(
-            f"Sinkhorn iterations diverged for pair {bad}; increase epsilon"
+            f"Sinkhorn iterations diverged for batch pairs {bad.tolist()}; "
+            "increase epsilon",
+            pair_indices=bad,
         )
     if cost.ndim == 3:
         distances = (plan * cost).sum(axis=(1, 2))

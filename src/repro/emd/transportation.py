@@ -102,6 +102,50 @@ def _northwest_corner(
     return flow, basis
 
 
+def _basis_flows(
+    m: int, n: int, basis: Set[Tuple[int, int]], supply: np.ndarray, demand: np.ndarray
+) -> np.ndarray:
+    """Exact flows determined by a basis tree and the (unperturbed) marginals.
+
+    The basic cells of a transportation basis form a spanning tree of the
+    bipartite supply/demand graph, so the flows satisfying the marginals
+    on exactly those cells are unique and can be read off by repeatedly
+    resolving leaf nodes: a node with a single incident basic cell must
+    route its whole remaining balance through it.  Computing the final
+    flows this way (instead of un-perturbing the epsilon-perturbed
+    simplex iterate) keeps the solver's output exact up to float
+    rounding, which the cross-solver parity harness relies on.
+    """
+    flow = np.zeros((m, n), dtype=float)
+    row_balance = supply.astype(float).copy()
+    col_balance = demand.astype(float).copy()
+    row_edges: Dict[int, Set[Tuple[int, int]]] = {i: set() for i in range(m)}
+    col_edges: Dict[int, Set[Tuple[int, int]]] = {j: set() for j in range(n)}
+    for (i, j) in basis:
+        row_edges[i].add((i, j))
+        col_edges[j].add((i, j))
+
+    queue: List[Tuple[str, int]] = [
+        ("r", i) for i in range(m) if len(row_edges[i]) == 1
+    ] + [("c", j) for j in range(n) if len(col_edges[j]) == 1]
+    while queue:
+        kind, idx = queue.pop()
+        edges = row_edges[idx] if kind == "r" else col_edges[idx]
+        if len(edges) != 1:
+            continue  # the node's last edge was resolved from the other side
+        (i, j) = next(iter(edges))
+        amount = row_balance[i] if kind == "r" else col_balance[j]
+        flow[i, j] = amount
+        row_balance[i] -= amount
+        col_balance[j] -= amount
+        row_edges[i].discard((i, j))
+        col_edges[j].discard((i, j))
+        other_edges = col_edges[j] if kind == "r" else row_edges[i]
+        if len(other_edges) == 1:
+            queue.append(("c", j) if kind == "r" else ("r", i))
+    return flow
+
+
 def _compute_potentials(
     cost: np.ndarray, basis: Set[Tuple[int, int]], m: int, n: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -223,8 +267,9 @@ def solve_transportation(
         return TransportPlan(flow=np.zeros((m, n)), cost=0.0, total_flow=0.0)
 
     # Tiny perturbation of the supplies avoids degenerate pivots (classical
-    # epsilon-perturbation technique); it is removed from the final flows by
-    # clipping values below the perturbation scale.
+    # epsilon-perturbation technique); it only steers the pivoting — the
+    # final flows are re-derived from the optimal basis on the unperturbed
+    # marginals (see _basis_flows below), so no trace of it survives.
     eps = 1e-9 * scale / max(m, 1)
     supply_p = supply + eps
     demand_p = demand.copy()
@@ -260,14 +305,10 @@ def solve_transportation(
     else:
         raise SolverError(f"transportation simplex did not converge in {max_iter} pivots")
 
-    # Strip the epsilon perturbation and tiny negative round-off.
-    flow[flow < 10 * eps] = np.where(flow[flow < 10 * eps] < 0, 0.0, flow[flow < 10 * eps])
-    flow = np.clip(flow, 0.0, None)
-    # Rescale so that marginals match the original (unperturbed) problem.
-    row_sums = flow.sum(axis=1)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        row_factor = np.where(row_sums > 0, supply / np.maximum(row_sums, 1e-300), 0.0)
-    flow = flow * row_factor[:, None]
+    # The perturbed iterate told us the optimal *basis*; the exact flows
+    # on that basis follow from the unperturbed marginals directly (tiny
+    # negatives are degenerate basic cells whose exact flow is zero).
+    flow = np.clip(_basis_flows(m, n, basis, supply, demand), 0.0, None)
 
     total_flow = float(flow.sum())
     return TransportPlan(flow=flow, cost=float(np.sum(flow * cost)), total_flow=total_flow)

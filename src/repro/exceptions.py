@@ -26,7 +26,24 @@ class EmptyBagError(ValidationError):
 
 
 class SolverError(ReproError, RuntimeError):
-    """Raised when an optimisation backend fails to produce a valid solution."""
+    """Raised when an optimisation backend fails to produce a valid solution.
+
+    Attributes
+    ----------
+    pair_indices:
+        When the failure happened inside a *batched* multi-pair solve
+        (the block-diagonal LP or the tensor-batched Sinkhorn), the
+        indices of the pairs that were stacked into the failing solve —
+        batch-local for errors raised by the solvers themselves,
+        translated to :meth:`PairwiseEMDEngine.compute_pairs` positions
+        by the engine.  ``None`` for single-pair failures.
+    """
+
+    def __init__(self, *args, pair_indices=None):
+        super().__init__(*args)
+        self.pair_indices = (
+            None if pair_indices is None else tuple(int(i) for i in pair_indices)
+        )
 
 
 class NotFittedError(ReproError, RuntimeError):

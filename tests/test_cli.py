@@ -60,6 +60,16 @@ class TestMain:
         assert lines[0] == "time,score,lower,upper,gamma,alert"
         assert len(lines) > 1
 
+    def test_linprog_batch_backend(self, npz_stream, capsys):
+        exit_code = main(
+            [str(npz_stream), "--tau", "3", "--tau-test", "3",
+             "--signature", "histogram", "--emd-backend", "linprog_batch",
+             "--bootstrap", "40", "--seed", "0"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.splitlines()[0] == "time,score,lower,upper,gamma,alert"
+
     def test_csv_input_with_output_file(self, csv_stream, tmp_path):
         out_path = tmp_path / "result.csv"
         exit_code = main(

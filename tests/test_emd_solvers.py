@@ -79,6 +79,23 @@ class TestSolveTransportation:
         linprog = solve_emd_linprog(cost, supply, demand)
         assert simplex.cost == pytest.approx(linprog.cost, rel=1e-5, abs=1e-6)
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_final_flows_satisfy_marginals_to_float_precision(self, seed):
+        # The epsilon perturbation steers the pivots only; the returned
+        # flows are re-derived from the basis tree on the *unperturbed*
+        # marginals, so they must match them to float rounding — this is
+        # what keeps the simplex inside the cross-solver 1e-9 parity
+        # envelope (see tests/test_solver_parity.py).
+        rng = np.random.default_rng(200 + seed)
+        m, n = int(rng.integers(2, 9)), int(rng.integers(2, 9))
+        cost = rng.uniform(0.0, 10.0, size=(m, n))
+        supply = rng.uniform(0.1, 5.0, size=m)
+        demand = rng.uniform(0.1, 5.0, size=n)
+        demand *= supply.sum() / demand.sum()
+        plan = solve_transportation(cost, supply, demand)
+        np.testing.assert_allclose(plan.flow.sum(axis=1), supply, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(plan.flow.sum(axis=0), demand, rtol=0, atol=1e-12)
+
 
 class TestSolveUnbalanced:
     def test_total_flow_is_smaller_mass(self):

@@ -1,0 +1,416 @@
+"""Cross-solver parity harness and EMD metric-invariant property tests.
+
+The solver matrix has five entries — the closed-form 1-D fast path, the
+transportation simplex, the per-pair HiGHS LP, the block-diagonal
+batched LP and the tensor-batched entropic Sinkhorn — and the detector
+freely routes pairs between them.  This module pins down what "the same
+distance" means across that matrix:
+
+* every *exact* path (everything except Sinkhorn) must agree with the
+  per-pair LP reference to within ``1e-9`` on one shared fixture corpus
+  covering common-support histograms, unequal total masses, zero-weight
+  atoms, single-atom signatures and 1-/2-/3-dimensional supports;
+* the entropic path must converge to those exact values under an
+  epsilon-annealing schedule;
+* every exact backend must satisfy the EMD's metric invariants
+  (non-negativity, symmetry, identity of indiscernibles, triangle
+  inequality) on seeded random normalised signatures;
+* a :class:`~repro.exceptions.SolverError` escaping a *batched* group
+  solve must identify the pairs that were stacked into the failing
+  solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BagChangePointDetector, DetectorConfig
+from repro.emd import (
+    EMD_SOLVERS,
+    PairwiseEMDEngine,
+    emd,
+    sinkhorn_transport_batch,
+    solve_emd_linprog,
+    solve_emd_linprog_batch,
+    solve_unbalanced_transportation,
+)
+from repro.emd.ground_distance import cross_distance_matrix
+from repro.exceptions import SolverError
+from repro.signatures import Signature
+
+#: Maximum disagreement tolerated between any two exact solve paths.
+PARITY_TOL = 1e-9
+
+#: Engine backends that compute the exact partial-matching EMD.
+EXACT_BACKENDS = tuple(b for b in EMD_SOLVERS if b != "sinkhorn_batch")
+
+
+def _grid(side, dim):
+    axes = np.meshgrid(*[np.arange(float(side))] * dim)
+    return np.column_stack([axis.ravel() for axis in axes])
+
+
+def _build_corpus():
+    """The shared fixture corpus: one deterministic pair per scenario."""
+    rng = np.random.default_rng(20160501)
+    grid2 = _grid(3, 2)
+    n_bins = grid2.shape[0]
+    corpus = {}
+    # Common-support histograms: both signatures over one full 2-D grid.
+    for i in range(3):
+        corpus[f"common-support-{i}"] = (
+            Signature(grid2, rng.uniform(0.5, 3.0, n_bins)),
+            Signature(grid2, rng.uniform(0.5, 3.0, n_bins)),
+        )
+    # Unequal total masses: the partial-matching functional moves only
+    # min(total_a, total_b) units (paper Eq. 11).
+    corpus["unequal-mass"] = (
+        Signature(grid2, rng.uniform(0.5, 3.0, n_bins)),
+        Signature(grid2, rng.uniform(3.0, 8.0, n_bins)),
+    )
+    # Zero-weight atoms: sparse occupancy patterns over the shared grid
+    # (Signature drops the zero atoms, leaving genuinely distinct
+    # sub-supports of one grid — the union-embedding scenario).
+    weights_a = rng.uniform(0.5, 3.0, n_bins)
+    weights_a[rng.random(n_bins) < 0.4] = 0.0
+    weights_a[0] = max(weights_a[0], 1.0)
+    weights_b = rng.uniform(0.5, 3.0, n_bins)
+    weights_b[rng.random(n_bins) < 0.4] = 0.0
+    weights_b[-1] = max(weights_b[-1], 1.0)
+    corpus["zero-weight-atoms"] = (
+        Signature(grid2[weights_a > 0], weights_a[weights_a > 0]),
+        Signature(grid2[weights_b > 0], weights_b[weights_b > 0]),
+    )
+    # Single-atom signature against a full histogram.
+    corpus["single-atom"] = (
+        Signature(np.array([[0.5, 1.0]]), np.array([2.0])),
+        Signature(grid2, rng.uniform(0.5, 2.0, n_bins)),
+    )
+    # 1-D supports, equal and unequal masses (the first also exercises
+    # the closed-form fast path inside the engine backends).
+    x1 = np.sort(rng.normal(size=(5, 1)), axis=0)
+    corpus["one-dim-equal-mass"] = (
+        Signature(x1, np.full(5, 0.2)),
+        Signature(x1 + 0.7, np.full(5, 0.2)),
+    )
+    corpus["one-dim-unequal-mass"] = (
+        Signature(x1, rng.uniform(0.5, 2.0, 5)),
+        Signature(x1 * 2.0, rng.uniform(1.5, 3.0, 5)),
+    )
+    # 3-D supports.
+    grid3 = _grid(2, 3)
+    corpus["three-dim"] = (
+        Signature(grid3, rng.uniform(0.5, 2.0, 8)),
+        Signature(grid3 + 0.5, rng.uniform(0.5, 2.0, 8)),
+    )
+    return corpus
+
+
+CORPUS = _build_corpus()
+CASE_NAMES = sorted(CORPUS)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Per-pair HiGHS LP distances, the parity reference."""
+    return {
+        name: emd(sig_a, sig_b, backend="linprog")
+        for name, (sig_a, sig_b) in CORPUS.items()
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Cross-solver parity on the shared corpus
+# ---------------------------------------------------------------------- #
+class TestExactSolverParity:
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_engine_backend_matches_reference(self, backend, name, reference):
+        sig_a, sig_b = CORPUS[name]
+        with PairwiseEMDEngine(backend=backend) as engine:
+            assert engine.compute(sig_a, sig_b) == pytest.approx(
+                reference[name], abs=PARITY_TOL
+            )
+
+    @pytest.mark.parametrize("backend", EXACT_BACKENDS)
+    def test_engine_backend_matches_reference_in_one_batch(self, backend, reference):
+        # The whole corpus in a single compute_pairs call exercises the
+        # batched backends' support grouping and union embedding across
+        # mixed dimensionalities.
+        pairs = [CORPUS[name] for name in CASE_NAMES]
+        with PairwiseEMDEngine(backend=backend) as engine:
+            distances = engine.compute_pairs(pairs)
+        expected = np.array([reference[name] for name in CASE_NAMES])
+        np.testing.assert_allclose(distances, expected, atol=PARITY_TOL, rtol=0)
+
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_transportation_simplex_matches_reference(self, name, reference):
+        sig_a, sig_b = CORPUS[name]
+        cost = cross_distance_matrix(sig_a.positions, sig_b.positions, "euclidean")
+        plan = solve_unbalanced_transportation(cost, sig_a.weights, sig_b.weights)
+        assert plan.cost / plan.total_flow == pytest.approx(
+            reference[name], abs=PARITY_TOL
+        )
+
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_block_diagonal_lp_matches_reference(self, name, reference):
+        sig_a, sig_b = CORPUS[name]
+        cost = cross_distance_matrix(sig_a.positions, sig_b.positions, "euclidean")
+        result = solve_emd_linprog_batch(
+            cost, sig_a.weights[None, :], sig_b.weights[None, :]
+        )
+        assert result.distances[0] == pytest.approx(reference[name], abs=PARITY_TOL)
+
+    def test_block_diagonal_multi_pair_matches_per_pair(self):
+        # Many pairs over one shared support in a single stacked solve,
+        # including zero-weight atoms, unequal masses and rows whose mass
+        # concentrates on a single atom.
+        rng = np.random.default_rng(7)
+        grid = _grid(3, 2)
+        n_bins = grid.shape[0]
+        cost = cross_distance_matrix(grid, grid, "euclidean")
+        supply = rng.uniform(0.5, 3.0, size=(12, n_bins))
+        demand = rng.uniform(0.5, 3.0, size=(12, n_bins))
+        supply[3, rng.random(n_bins) < 0.5] = 0.0
+        demand[4, rng.random(n_bins) < 0.5] = 0.0
+        supply[5] *= 4.0  # unequal totals
+        supply[6] = 0.0
+        supply[6, 2] = 2.5  # single effective atom
+        # Chunking must not change anything: force several chunks.
+        batch = solve_emd_linprog_batch(
+            cost, supply, demand, max_batch_variables=3 * n_bins * n_bins
+        )
+        for p in range(12):
+            plan = solve_emd_linprog(cost, supply[p], demand[p])
+            expected = plan.cost / plan.total_flow if plan.total_flow > 0 else 0.0
+            assert batch.distances[p] == pytest.approx(expected, abs=PARITY_TOL)
+
+    def test_block_diagonal_flows_are_feasible_optimal_plans(self):
+        rng = np.random.default_rng(11)
+        grid = _grid(3, 1)
+        cost = cross_distance_matrix(grid, grid, "euclidean")
+        supply = rng.uniform(0.5, 2.0, size=(4, 3))
+        demand = rng.uniform(0.5, 2.0, size=(4, 3))
+        result = solve_emd_linprog_batch(cost, supply, demand, return_flows=True)
+        for p in range(4):
+            plan = result.plan(p)
+            assert np.all(plan.flow >= 0)
+            assert np.all(plan.flow.sum(axis=1) <= supply[p] + 1e-9)
+            assert np.all(plan.flow.sum(axis=0) <= demand[p] + 1e-9)
+            assert plan.total_flow == pytest.approx(
+                min(supply[p].sum(), demand[p].sum()), abs=1e-9
+            )
+
+    @pytest.mark.parametrize("name", CASE_NAMES)
+    def test_sinkhorn_converges_to_exact_under_annealing(self, name):
+        # The entropic solver computes the normalised-mass balanced EMD,
+        # so the exact target is the partial-matching EMD of the
+        # *normalised* signatures (identical for equal-mass pairs).
+        sig_a, sig_b = CORPUS[name]
+        exact = emd(sig_a.normalized(), sig_b.normalized(), backend="linprog")
+        cost = cross_distance_matrix(sig_a.positions, sig_b.positions, "euclidean")
+        result = sinkhorn_transport_batch(
+            cost,
+            sig_a.weights[None, :],
+            sig_b.weights[None, :],
+            epsilon=[1.0, 0.3, 0.1, 0.03, 0.01],
+            max_iter=5000,
+        )
+        assert result.distances[0] == pytest.approx(exact, rel=5e-3, abs=5e-3)
+        # Entropic smoothing can only blur the optimal plan upwards.
+        assert result.distances[0] >= exact - 1e-8
+
+
+# ---------------------------------------------------------------------- #
+# Metric invariants per exact backend (seeded property tests)
+# ---------------------------------------------------------------------- #
+def _random_normalised_signature(rng, dim, max_size=6):
+    size = int(rng.integers(1, max_size + 1))
+    positions = rng.normal(scale=3.0, size=(size, dim))
+    weights = rng.uniform(0.2, 2.0, size)
+    return Signature(positions, weights / weights.sum())
+
+
+@pytest.mark.parametrize("backend", EXACT_BACKENDS)
+@pytest.mark.parametrize("seed", (0, 1, 2, 3, 4))
+class TestMetricInvariants:
+    """EMD on normalised signatures is a metric; each backend must honour it."""
+
+    def test_non_negativity_and_symmetry(self, backend, seed):
+        rng = np.random.default_rng(1000 + seed)
+        dim = int(rng.integers(1, 4))
+        sig_a = _random_normalised_signature(rng, dim)
+        sig_b = _random_normalised_signature(rng, dim)
+        with PairwiseEMDEngine(backend=backend) as engine:
+            forward, backward = engine.compute_pairs(
+                [(sig_a, sig_b), (sig_b, sig_a)]
+            )
+        assert forward >= 0.0
+        assert forward == pytest.approx(backward, abs=PARITY_TOL)
+
+    def test_identity_of_indiscernibles(self, backend, seed):
+        rng = np.random.default_rng(2000 + seed)
+        dim = int(rng.integers(1, 4))
+        sig_a = _random_normalised_signature(rng, dim)
+        distinct = Signature(
+            np.array(sig_a.positions) + 5.0, np.array(sig_a.weights)
+        )
+        with PairwiseEMDEngine(backend=backend) as engine:
+            self_distance, cross_distance = engine.compute_pairs(
+                [(sig_a, sig_a), (sig_a, distinct)]
+            )
+        assert self_distance == pytest.approx(0.0, abs=PARITY_TOL)
+        assert cross_distance > 1.0  # translation by 5 moves every atom
+        assert cross_distance == pytest.approx(5.0 * np.sqrt(dim), rel=1e-6)
+
+    def test_triangle_inequality(self, backend, seed):
+        rng = np.random.default_rng(3000 + seed)
+        dim = int(rng.integers(1, 4))
+        sig_a = _random_normalised_signature(rng, dim)
+        sig_b = _random_normalised_signature(rng, dim)
+        sig_c = _random_normalised_signature(rng, dim)
+        with PairwiseEMDEngine(backend=backend) as engine:
+            d_ab, d_bc, d_ac = engine.compute_pairs(
+                [(sig_a, sig_b), (sig_b, sig_c), (sig_a, sig_c)]
+            )
+        assert d_ac <= d_ab + d_bc + PARITY_TOL
+
+
+# ---------------------------------------------------------------------- #
+# Failure context of batched group solves
+# ---------------------------------------------------------------------- #
+def _grid_signature(rng, grid):
+    return Signature(grid, rng.uniform(0.5, 2.0, grid.shape[0]))
+
+
+class TestBatchedGroupErrorContext:
+    def test_solver_error_carries_pair_indices(self):
+        error = SolverError("boom", pair_indices=[3, 1])
+        assert error.pair_indices == (3, 1)
+        assert SolverError("boom").pair_indices is None
+
+    @pytest.mark.parametrize("backend", ("sinkhorn_batch", "linprog_batch"))
+    def test_group_failure_reports_compute_pairs_positions(
+        self, backend, monkeypatch
+    ):
+        # Batch layout: positions 0, 2 and 3 form one common-support
+        # group; position 1 is an irregular pair that would take the
+        # per-pair fallback.  A failure attributed to row 1 of the
+        # stacked group must surface as compute_pairs position 2.
+        from repro.emd import batch as batch_module
+
+        rng = np.random.default_rng(0)
+        grid = _grid(3, 2)
+        group_pair = lambda: (_grid_signature(rng, grid), _grid_signature(rng, grid))
+        irregular = (
+            Signature(rng.normal(size=(4, 2)), rng.uniform(0.5, 2.0, 4)),
+            Signature(rng.normal(size=(5, 2)), rng.uniform(0.5, 2.0, 5)),
+        )
+        pairs = [group_pair(), irregular, group_pair(), group_pair()]
+
+        def failing_solver(*args, **kwargs):
+            raise SolverError("synthetic stacked failure", pair_indices=[1])
+
+        target = (
+            "sinkhorn_transport_batch"
+            if backend == "sinkhorn_batch"
+            else "solve_emd_linprog_batch"
+        )
+        monkeypatch.setattr(batch_module, target, failing_solver)
+        engine = PairwiseEMDEngine(backend=backend)
+        with pytest.raises(SolverError) as excinfo:
+            engine.compute_pairs(pairs)
+        assert excinfo.value.pair_indices == (2,)
+        assert "[2]" in str(excinfo.value)
+
+    @pytest.mark.parametrize("backend", ("sinkhorn_batch", "linprog_batch"))
+    def test_unattributed_group_failure_reports_whole_group(
+        self, backend, monkeypatch
+    ):
+        from repro.emd import batch as batch_module
+
+        rng = np.random.default_rng(1)
+        grid = _grid(3, 2)
+        pairs = [
+            (_grid_signature(rng, grid), _grid_signature(rng, grid))
+            for _ in range(3)
+        ]
+
+        def failing_solver(*args, **kwargs):
+            raise SolverError("synthetic stacked failure")
+
+        target = (
+            "sinkhorn_transport_batch"
+            if backend == "sinkhorn_batch"
+            else "solve_emd_linprog_batch"
+        )
+        monkeypatch.setattr(batch_module, target, failing_solver)
+        engine = PairwiseEMDEngine(backend=backend)
+        with pytest.raises(SolverError) as excinfo:
+            engine.compute_pairs(pairs)
+        assert excinfo.value.pair_indices == (0, 1, 2)
+
+    def test_failed_lp_chunk_reports_batch_local_indices(self, monkeypatch):
+        from repro.emd import linprog_batch as linprog_batch_module
+
+        real_linprog = linprog_batch_module.linprog
+        calls = {"count": 0}
+
+        def flaky_linprog(*args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                return real_linprog(*args, **kwargs)
+
+            class Failed:
+                success = False
+                message = "synthetic HiGHS failure"
+
+            return Failed()
+
+        monkeypatch.setattr(linprog_batch_module, "linprog", flaky_linprog)
+        rng = np.random.default_rng(2)
+        grid = _grid(3, 1)
+        cost = cross_distance_matrix(grid, grid, "euclidean")
+        supply = rng.uniform(0.5, 2.0, size=(3, 3))
+        demand = rng.uniform(0.5, 2.0, size=(3, 3))
+        # One pair per chunk: the first chunk solves, the second fails
+        # (and its presolve retry fails too) -> pair index 1, not 0.
+        with pytest.raises(SolverError) as excinfo:
+            solve_emd_linprog_batch(cost, supply, demand, max_batch_variables=9)
+        assert excinfo.value.pair_indices == (1,)
+        assert "synthetic HiGHS failure" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------- #
+# Detector-level wiring
+# ---------------------------------------------------------------------- #
+class TestDetectorWiring:
+    def test_linprog_batch_detect_matches_linprog(self):
+        rng = np.random.default_rng(5)
+        bags = [rng.normal(0.0, 1.0, size=(30, 2)) for _ in range(8)]
+        bags += [rng.normal(3.0, 1.0, size=(30, 2)) for _ in range(8)]
+
+        def run(backend):
+            config = DetectorConfig(
+                tau=3,
+                tau_test=3,
+                signature_method="histogram",
+                bins=3,
+                n_bootstrap=25,
+                emd_backend=backend,
+                random_state=0,
+            )
+            with BagChangePointDetector(config) as detector:
+                return detector.detect(bags)
+
+        reference = run("linprog")
+        batched = run("linprog_batch")
+        np.testing.assert_allclose(
+            batched.scores, reference.scores, atol=PARITY_TOL, rtol=0
+        )
+        np.testing.assert_allclose(
+            batched.lower, reference.lower, atol=PARITY_TOL, rtol=0
+        )
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(Exception):
+            DetectorConfig(emd_backend="linprog_block")
