@@ -22,7 +22,6 @@ least ``--threshold`` times faster than the dense one.
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 
 from repro.datasets import make_confidence_interval_dataset
@@ -60,6 +59,10 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="small problem for CI smoke runs; reports but does not enforce the threshold",
     )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the key numbers as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
 
     n_bags = 60 if args.quick else args.bags
@@ -92,7 +95,26 @@ def main(argv=None) -> int:
         print(f"{label:<16}{solves:>12}{elapsed:>10.3f}{speedup:>10.2f}x")
 
     speedup = dense_time / banded_time if banded_time > 0 else float("inf")
-    if not args.quick and speedup < args.threshold:
+    passed = args.quick or speedup >= args.threshold
+
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        args.json,
+        "banded_engine",
+        {
+            "n_bags": n_bags,
+            "bandwidth": bandwidth,
+            "dense_seconds": dense_time,
+            "banded_seconds": banded_time,
+            "threaded_seconds": threaded_time,
+            "speedup_vs_dense": speedup,
+            "threshold": args.threshold,
+            "threshold_enforced": not args.quick,
+        },
+        passed=passed,
+    )
+    if not passed:
         print(f"FAIL: banded speed-up {speedup:.2f}x below threshold {args.threshold}x")
         return 1
     print(f"OK: banded path {speedup:.2f}x faster than dense")

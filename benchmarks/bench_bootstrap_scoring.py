@@ -23,7 +23,6 @@ least ``--threshold`` times faster at B = 500.
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 
 import numpy as np
@@ -101,6 +100,10 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="small problem for CI smoke runs; reports but does not enforce the threshold",
     )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the key numbers as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
 
     n_bags = 60 if args.quick else args.bags
@@ -112,7 +115,11 @@ def main(argv=None) -> int:
           f"tau={args.tau}, tau'={args.tau_test}, score={args.score}")
     print(f"{'B':>6}{'looped s':>12}{'batched s':>12}{'speed-up':>10}{'max |diff|':>12}")
 
+    from conftest import write_benchmark_json
+
     speedups = {}
+    rows = []
+    max_diff = 0.0
     for n_bootstrap in replicate_counts:
         start = time.perf_counter()
         looped = looped_intervals(
@@ -127,16 +134,43 @@ def main(argv=None) -> int:
         batched_time = time.perf_counter() - start
 
         diff = max_interval_difference(looped, batched)
+        max_diff = max(max_diff, diff)
         speedup = looped_time / batched_time if batched_time > 0 else float("inf")
         speedups[n_bootstrap] = speedup
+        rows.append(
+            {
+                "n_bootstrap": n_bootstrap,
+                "looped_seconds": looped_time,
+                "batched_seconds": batched_time,
+                "speedup": speedup,
+                "max_interval_diff": diff,
+            }
+        )
         print(f"{n_bootstrap:>6}{looped_time:>12.3f}{batched_time:>12.3f}"
               f"{speedup:>10.2f}x{diff:>12.2e}")
         if diff > 1e-9:
+            write_benchmark_json(
+                args.json, "bootstrap_scoring",
+                {"rows": rows, "max_interval_diff": max_diff}, passed=False,
+            )
             print(f"FAIL: batched intervals diverge from looped ones by {diff:.2e}")
             return 1
 
+    gate = speedups.get(500, 0.0)
+    passed = args.quick or gate >= args.threshold
+    write_benchmark_json(
+        args.json,
+        "bootstrap_scoring",
+        {
+            "rows": rows,
+            "max_interval_diff": max_diff,
+            "speedup_at_500": gate,
+            "threshold": args.threshold,
+            "threshold_enforced": not args.quick,
+        },
+        passed=passed,
+    )
     if not args.quick:
-        gate = speedups.get(500, 0.0)
         if gate < args.threshold:
             print(f"FAIL: batched speed-up {gate:.2f}x at B=500 below threshold {args.threshold}x")
             return 1

@@ -18,7 +18,7 @@ from repro import BagChangePointDetector
 from repro.datasets import ACTIVITIES, PamapSimulator
 from repro.evaluation import match_alarms
 
-from conftest import print_header, print_series, print_table
+from conftest import print_header, print_table
 
 N_SUBJECTS = 3
 PROTOCOL = (1, 2, 3, 4, 5, 6, 7, 8, 9, 11)

@@ -98,6 +98,10 @@ def main(argv=None) -> int:
         help="small problem for CI smoke runs; reports but does not enforce "
         "the speed-up threshold (the 1e-9 parity gate still applies)",
     )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the key numbers as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
 
     n_bags = 30 if args.quick else args.bags
@@ -163,13 +167,35 @@ def main(argv=None) -> int:
     print(f"{'linprog_batch':<16}{engine_time:>10.3f}{engine_speedup:>10.2f}x")
     print(f"max band |linprog_batch - linprog| = {engine_diff:.2e}")
 
-    if max_diff > PARITY_TOL or engine_diff > PARITY_TOL:
+    parity_ok = max_diff <= PARITY_TOL and engine_diff <= PARITY_TOL
+    speed_ok = args.quick or speedup >= args.threshold
+
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        args.json,
+        "linprog_batch",
+        {
+            "n_pairs": n_pairs,
+            "per_pair_seconds": loop_time,
+            "batched_seconds": batch_time,
+            "speedup": speedup,
+            "max_parity_diff": max(max_diff, engine_diff),
+            "engine_lp_seconds": lp_time,
+            "engine_batch_seconds": engine_time,
+            "engine_speedup": engine_speedup,
+            "threshold": args.threshold,
+            "threshold_enforced": not args.quick,
+        },
+        passed=parity_ok and speed_ok,
+    )
+    if not parity_ok:
         print(
             f"FAIL: batched and per-pair exact LP disagree by "
             f"{max(max_diff, engine_diff):.2e} > {PARITY_TOL:.0e}"
         )
         return 1
-    if not args.quick and speedup < args.threshold:
+    if not speed_ok:
         print(f"FAIL: batched speed-up {speedup:.2f}x below threshold {args.threshold}x")
         return 1
     print(f"OK: batched exact LP {speedup:.2f}x faster than per-pair, parity {max_diff:.2e}")

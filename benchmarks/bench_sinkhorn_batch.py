@@ -94,6 +94,10 @@ def main(argv=None) -> int:
         "--quick", action="store_true",
         help="small problem for CI smoke runs; reports but does not enforce the threshold",
     )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the key numbers as machine-readable JSON",
+    )
     args = parser.parse_args(argv)
 
     n_pairs = 64 if args.quick else args.pairs
@@ -161,10 +165,32 @@ def main(argv=None) -> int:
     print(f"{'exact linprog':<16}{lp_time:>10.3f}{1.0:>10.2f}x")
     print(f"{'sinkhorn_batch':<16}{engine_time:>10.3f}{engine_speedup:>10.2f}x")
 
-    if max_diff > 1e-8:
+    parity_ok = max_diff <= 1e-8
+    speed_ok = args.quick or speedup >= args.threshold
+
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        args.json,
+        "sinkhorn_batch",
+        {
+            "n_pairs": n_pairs,
+            "per_pair_seconds": loop_time,
+            "batched_seconds": batch_time,
+            "speedup": speedup,
+            "max_parity_diff": max_diff,
+            "engine_lp_seconds": lp_time,
+            "engine_sinkhorn_seconds": engine_time,
+            "engine_speedup": engine_speedup,
+            "threshold": args.threshold,
+            "threshold_enforced": not args.quick,
+        },
+        passed=parity_ok and speed_ok,
+    )
+    if not parity_ok:
         print(f"FAIL: batched and per-pair Sinkhorn disagree by {max_diff:.2e} > 1e-8")
         return 1
-    if not args.quick and speedup < args.threshold:
+    if not speed_ok:
         print(f"FAIL: batched speed-up {speedup:.2f}x below threshold {args.threshold}x")
         return 1
     print(f"OK: batched solver {speedup:.2f}x faster than per-pair, parity {max_diff:.2e}")

@@ -13,9 +13,51 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 import pytest
+
+
+def write_benchmark_json(
+    path: Optional[Union[str, Path]],
+    benchmark: str,
+    results: Dict[str, object],
+    *,
+    passed: bool = True,
+) -> None:
+    """Write one benchmark's key numbers as machine-readable JSON.
+
+    Shared by every smoke benchmark's ``--json`` flag: CI uploads the
+    resulting ``BENCH_*.json`` files as workflow artifacts, so the perf
+    trajectory is queryable per commit instead of buried in step logs.
+    ``path=None`` is a no-op, letting callers forward their ``--json``
+    argument unconditionally.  Values in ``results`` must be
+    JSON-serialisable (numbers, strings, booleans, lists, dicts).
+    """
+    if path is None:
+        return
+    try:
+        import numpy as np
+
+        versions = {"python": platform.python_version(), "numpy": np.__version__}
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        versions = {"python": platform.python_version()}
+    payload = {
+        "benchmark": benchmark,
+        "passed": bool(passed),
+        "results": results,
+        "argv": sys.argv[1:],
+        "versions": versions,
+    }
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"benchmark JSON written to {path}")
 
 
 def print_header(title: str) -> None:

@@ -16,7 +16,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import BagChangePointDetector
 from repro.core import segment_from_result

@@ -13,7 +13,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import BagChangePointDetector
 from repro.datasets import EnronLikeStream, OrganizationalEvent

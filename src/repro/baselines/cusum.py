@@ -11,7 +11,7 @@ mode the paper's Fig. 1 illustrates for descriptive-statistics summaries).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -15,7 +15,7 @@ direct solve is perfectly adequate).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 import numpy as np
 

@@ -11,6 +11,13 @@ Usage
 
 The detected scores, confidence bounds and alerts are printed as CSV on
 standard output (or written to ``--output``).
+
+A second mode, ``repro-detect shard-build``, runs only the band-build
+stage through the sharded runner (:mod:`repro.emd.sharding`): it
+partitions the EMD band into row-block shards, executes them on a local
+process pool (or resumes from per-shard checkpoints), and writes the
+merged band as an ``.npz`` — the expensive half of a detection run, made
+restartable and distributable.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import numpy as np
 
 from .core import BagChangePointDetector, BagSequence, DetectorConfig
 from .emd import EMD_SOLVERS
+from .emd.sharding import EngineSettings, ShardPlan, ShardRunner
 from .exceptions import ValidationError
 
 
@@ -53,17 +61,17 @@ def _load_csv(path: Path, time_column: str) -> List[np.ndarray]:
     return sequence.arrays()
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for tests and documentation)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-detect",
-        description="Bag-of-data change-point detection (Koshijima, Hino & Murata).",
-    )
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the detect run and ``shard-build``.
+
+    Everything here shapes the signatures or the solver, so both modes
+    must agree on names, choices and defaults — the shard-build band is
+    only reusable by a detect run computed under the same settings.
+    """
     parser.add_argument("input", type=Path, help="input .npz (one array per bag) or long-format .csv")
     parser.add_argument("--time-column", default="time", help="time column name for CSV input")
     parser.add_argument("--tau", type=int, default=5, help="reference window length")
     parser.add_argument("--tau-test", type=int, default=5, help="test window length")
-    parser.add_argument("--score", choices=("kl", "lr"), default="kl", help="change-point score")
     parser.add_argument(
         "--signature",
         choices=("kmeans", "kmedoids", "histogram", "lvq", "exact"),
@@ -88,6 +96,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="iteration budget per batched Sinkhorn solve",
     )
     parser.add_argument(
+        "--sinkhorn-tol", type=float, default=1e-9,
+        help="marginal tolerance of the batched Sinkhorn solver "
+        "(raise for faster, scoring-grade band builds)",
+    )
+    parser.add_argument(
+        "--sinkhorn-anneal", type=float, nargs="+", default=None, metavar="EPS",
+        help="decreasing epsilon-annealing stages run before "
+        "--sinkhorn-epsilon (warm-started duals), e.g. 1.0 0.3 0.1",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect",
+        description="Bag-of-data change-point detection (Koshijima, Hino & Murata).",
+    )
+    _add_common_args(parser)
+    parser.add_argument("--score", choices=("kl", "lr"), default="kl", help="change-point score")
+    parser.add_argument(
         "--parallel",
         choices=("serial", "thread", "process"),
         default="serial",
@@ -98,31 +127,130 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool size for --parallel thread/process (default: CPU count)",
     )
     parser.add_argument(
+        "--n-shards", type=int, default=None,
+        help="build the EMD band in this many row-block shards "
+        "(process-parallel with --parallel process; see shard-build)",
+    )
+    parser.add_argument(
+        "--shard-checkpoint-dir", type=Path, default=None,
+        help="directory for per-shard checkpoints; a killed run resumes "
+        "its band build from the last finished shard",
+    )
+    parser.add_argument(
         "--lr-inspection-index", type=int, default=0,
         help="test-window position of the inspected bag for --score lr",
     )
     parser.add_argument("--bootstrap", type=int, default=200, help="Bayesian bootstrap replicates")
     parser.add_argument("--alpha", type=float, default=0.05, help="CI significance level")
-    parser.add_argument("--seed", type=int, default=None, help="random seed")
     parser.add_argument("--output", type=Path, default=None, help="write CSV here instead of stdout")
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point of the ``repro-detect`` console script."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def build_shard_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``shard-build`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect shard-build",
+        description="Sharded, checkpointable build of the banded pairwise-EMD "
+        "matrix (the expensive stage of a detection run).",
+    )
+    _add_common_args(parser)
+    parser.add_argument(
+        "--n-shards", type=int, default=4,
+        help="number of contiguous row-block shards",
+    )
+    parser.add_argument(
+        "--mode", choices=("process", "serial"), default="process",
+        help="execute pending shards on a process pool (signatures in "
+        "shared memory) or sequentially in-process",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: CPU count)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="write per-shard checkpoints here and resume from any that "
+        "match the current plan and solver configuration",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the merged band here as .npz (band, n, bandwidth, "
+        "plan_hash, fingerprint); default: report only",
+    )
+    return parser
 
-    path: Path = args.input
+
+def _load_bags(parser: argparse.ArgumentParser, path: Path, time_column: str):
     if not path.exists():
         parser.error(f"input file {path} does not exist")
     if path.suffix.lower() == ".npz":
-        bags = _load_npz(path)
-    elif path.suffix.lower() == ".csv":
-        bags = _load_csv(path, args.time_column)
-    else:
-        parser.error("input must be a .npz or .csv file")
-        return 2  # pragma: no cover - parser.error raises
+        return _load_npz(path)
+    if path.suffix.lower() == ".csv":
+        return _load_csv(path, time_column)
+    parser.error("input must be a .npz or .csv file")
+    return None  # pragma: no cover - parser.error raises
+
+
+def shard_build_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-detect shard-build``."""
+    parser = build_shard_parser()
+    args = parser.parse_args(argv)
+    bags = _load_bags(parser, args.input, args.time_column)
+
+    config = DetectorConfig(
+        tau=args.tau,
+        tau_test=args.tau_test,
+        signature_method=args.signature,
+        n_clusters=args.clusters,
+        emd_backend=args.emd_backend,
+        sinkhorn_epsilon=args.sinkhorn_epsilon,
+        sinkhorn_max_iter=args.sinkhorn_max_iter,
+        sinkhorn_tol=args.sinkhorn_tol,
+        sinkhorn_anneal=args.sinkhorn_anneal,
+        random_state=args.seed,
+    )
+    signatures = BagChangePointDetector(config).build_signatures(bags)
+    plan = ShardPlan.build(len(signatures), config.window_span, args.n_shards)
+    runner = ShardRunner(
+        plan,
+        EngineSettings.from_config(config),
+        mode=args.mode,
+        n_workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    band = runner.run(signatures)
+
+    print(
+        f"built band: n={band.n} bandwidth={band.bandwidth} "
+        f"pairs={plan.n_pairs} shards={plan.n_shards} "
+        f"(computed {runner.n_shards_computed}, resumed {runner.n_shards_resumed})",
+        file=sys.stderr,
+    )
+    if args.output is not None:
+        np.savez(
+            args.output,
+            band=np.asarray(band.band),
+            n=np.array(band.n),
+            bandwidth=np.array(band.bandwidth),
+            plan_hash=np.array(plan.plan_hash()),
+            fingerprint=np.array(runner.settings.fingerprint()),
+        )
+        print(f"band written to {args.output}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-detect`` console script.
+
+    ``repro-detect shard-build …`` dispatches to the sharded band-build
+    subcommand; anything else is the classic detection run.
+    """
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "shard-build":
+        return shard_build_main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    bags = _load_bags(parser, args.input, args.time_column)
 
     config = DetectorConfig(
         tau=args.tau,
@@ -133,8 +261,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         emd_backend=args.emd_backend,
         sinkhorn_epsilon=args.sinkhorn_epsilon,
         sinkhorn_max_iter=args.sinkhorn_max_iter,
+        sinkhorn_tol=args.sinkhorn_tol,
+        sinkhorn_anneal=args.sinkhorn_anneal,
         parallel_backend=args.parallel,
         n_workers=args.workers,
+        n_shards=args.n_shards,
+        shard_checkpoint_dir=args.shard_checkpoint_dir,
         lr_inspection_index=args.lr_inspection_index,
         n_bootstrap=args.bootstrap,
         alpha=args.alpha,

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from .._validation import check_positive_int
-from ..emd.batch import EMD_SOLVERS, PARALLEL_BACKENDS
+from ..emd.batch import EMD_SOLVERS, PARALLEL_BACKENDS, _check_anneal
 from ..exceptions import ConfigurationError, ValidationError
 from ..information import EstimatorConfig
 
@@ -61,12 +62,40 @@ class DetectorConfig:
         ``emd_backend="sinkhorn_batch"``.
     sinkhorn_max_iter:
         Iteration budget per batched Sinkhorn solve.
+    sinkhorn_tol:
+        L1 row-marginal tolerance at which a batched Sinkhorn pair
+        counts as converged.  The solver default (1e-9) is far tighter
+        than the detection scores can resolve; raising it (e.g. to
+        1e-6) shortens the band build without moving any alert.
+    sinkhorn_anneal:
+        Optional decreasing epsilon-annealing prefix for the batched
+        Sinkhorn solver: each solve runs the schedule
+        ``(*sinkhorn_anneal, sinkhorn_epsilon)`` with warm-started
+        duals, reaching a small final epsilon much faster than a cold
+        start at it.  Stages must be strictly decreasing and stay above
+        ``sinkhorn_epsilon``.
     parallel_backend:
         How the EMD engine computes batches of pair distances:
         ``"serial"`` (default), ``"thread"`` or ``"process"``.
     n_workers:
-        Worker-pool size for ``"thread"``/``"process"``; ``None`` uses the
-        CPU count.
+        Worker-pool size for ``"thread"``/``"process"`` (and for the
+        sharded band build); ``None`` uses the CPU count.
+    n_shards:
+        When set (> 1), the offline detector builds the EMD band
+        through :class:`repro.emd.sharding.ShardRunner`: the band's
+        pair set is partitioned into that many contiguous row-blocks,
+        executed process-parallel when ``parallel_backend="process"``
+        (signatures shared via ``multiprocessing.shared_memory``) and
+        sequentially otherwise, then merged — bit-for-bit equal to the
+        unsharded build.  ``None`` (default) keeps the single-pass
+        build.
+    shard_checkpoint_dir:
+        Optional directory for per-shard ``.npz`` checkpoints.  With it
+        set, a killed detection run resumes its band build at the last
+        finished shard (setting only this, without ``n_shards``, runs
+        the build as a single checkpointed shard); checkpoints from a
+        different plan or solver configuration are rejected, never
+        merged.
     lr_inspection_index:
         Position (0-based) within the test window of the bag ``S_t`` that
         the ``"lr"`` score compares against both windows (Eq. 16).  The
@@ -96,8 +125,12 @@ class DetectorConfig:
     emd_backend: str = "auto"
     sinkhorn_epsilon: float = 0.05
     sinkhorn_max_iter: int = 2000
+    sinkhorn_tol: float = 1e-9
+    sinkhorn_anneal: Optional[Sequence[float]] = None
     parallel_backend: str = "serial"
     n_workers: Optional[int] = None
+    n_shards: Optional[int] = None
+    shard_checkpoint_dir: Optional[Union[str, Path]] = None
     lr_inspection_index: int = 0
     weighting: str = "uniform"
     n_bootstrap: int = 200
@@ -126,8 +159,14 @@ class DetectorConfig:
             )
         if not np.isfinite(self.sinkhorn_epsilon) or self.sinkhorn_epsilon <= 0:
             raise ConfigurationError("sinkhorn_epsilon must be positive and finite")
+        if not np.isfinite(self.sinkhorn_tol) or self.sinkhorn_tol <= 0:
+            raise ConfigurationError("sinkhorn_tol must be positive and finite")
+        if self.sinkhorn_anneal is not None:
+            self.sinkhorn_anneal = _check_anneal(self.sinkhorn_anneal, self.sinkhorn_epsilon)
         try:
             check_positive_int(self.sinkhorn_max_iter, "sinkhorn_max_iter")
+            if self.n_shards is not None:
+                check_positive_int(self.n_shards, "n_shards")
         except ValidationError as exc:
             raise ConfigurationError(str(exc)) from None
         if self.parallel_backend not in PARALLEL_BACKENDS:

@@ -24,6 +24,7 @@ import numpy as np
 
 from .._validation import as_rng
 from ..emd import BandedDistanceMatrix, PairwiseEMDEngine
+from ..emd.sharding import EngineSettings, ShardPlan, ShardRunner
 from ..exceptions import ValidationError
 from ..signatures import Signature, SignatureBuilder
 from .bag import BagSequence
@@ -72,6 +73,8 @@ class BagChangePointDetector:
             n_workers=config.n_workers,
             sinkhorn_epsilon=config.sinkhorn_epsilon,
             sinkhorn_max_iter=config.sinkhorn_max_iter,
+            sinkhorn_tol=config.sinkhorn_tol,
+            sinkhorn_anneal=config.sinkhorn_anneal,
         )
 
     # ------------------------------------------------------------------ #
@@ -121,8 +124,27 @@ class BagChangePointDetector:
         Signature ``i`` and ``j`` appear in the same reference/test window
         only when ``|i − j| < τ + τ′``; only those entries are computed
         (in batches, through :class:`~repro.emd.PairwiseEMDEngine`) and
-        stored.
+        stored.  With ``config.n_shards`` set, the band is built through
+        the sharded runner instead — row-block shards executed
+        process-parallel when ``parallel_backend="process"`` (signatures
+        in shared memory, one placement per worker) and sequentially
+        otherwise, checkpointed per shard when
+        ``config.shard_checkpoint_dir`` is set, then merged into the
+        identical banded matrix.
         """
+        cfg = self.config
+        if cfg.n_shards is not None or cfg.shard_checkpoint_dir is not None:
+            # A checkpoint dir alone still means "make the build
+            # resumable": run it as a single checkpointed shard.
+            plan = ShardPlan.build(len(signatures), cfg.window_span, cfg.n_shards or 1)
+            runner = ShardRunner(
+                plan,
+                EngineSettings.from_config(cfg),
+                mode="process" if cfg.parallel_backend == "process" else "serial",
+                n_workers=cfg.n_workers,
+                checkpoint_dir=cfg.shard_checkpoint_dir,
+            )
+            return runner.run(signatures)
         return self._engine.banded_matrix(signatures, self.config.window_span)
 
     # ------------------------------------------------------------------ #

@@ -77,6 +77,8 @@ class OnlineBagDetector:
             n_workers=config.n_workers,
             sinkhorn_epsilon=config.sinkhorn_epsilon,
             sinkhorn_max_iter=config.sinkhorn_max_iter,
+            sinkhorn_tol=config.sinkhorn_tol,
+            sinkhorn_anneal=config.sinkhorn_anneal,
         )
         self._score_engine = ScoreEngine(config, rng=self._rng)
         self._threshold = AdaptiveThreshold(config.tau_test)

@@ -4,6 +4,8 @@ from .batch import (
     EMD_SOLVERS,
     BandedDistanceMatrix,
     PairwiseEMDEngine,
+    band_pair_counts,
+    band_pair_indices,
     banded_emd_matrix,
 )
 from .distance import EMDResult, emd, emd_with_flow
@@ -21,6 +23,16 @@ from .linprog_batch import LinprogBatchResult, solve_emd_linprog_batch
 from .matrices import EMDCache, cross_emd_matrix, emd_matrix
 from .numerics import logsumexp
 from .one_dimensional import emd_1d_histograms, wasserstein_1d
+from .sharding import (
+    EngineSettings,
+    ShardPlan,
+    ShardRunner,
+    ShardSpec,
+    load_shard_checkpoint,
+    merge_shards,
+    save_shard_checkpoint,
+    sharded_banded_matrix,
+)
 from .sinkhorn import SinkhornResult, sinkhorn_emd, sinkhorn_transport
 from .sinkhorn_batch import SinkhornBatchResult, sinkhorn_transport_batch
 from .transportation import (
@@ -33,7 +45,17 @@ __all__ = [
     "EMD_SOLVERS",
     "BandedDistanceMatrix",
     "PairwiseEMDEngine",
+    "band_pair_counts",
+    "band_pair_indices",
     "banded_emd_matrix",
+    "EngineSettings",
+    "ShardPlan",
+    "ShardRunner",
+    "ShardSpec",
+    "load_shard_checkpoint",
+    "merge_shards",
+    "save_shard_checkpoint",
+    "sharded_banded_matrix",
     "EMDResult",
     "emd",
     "emd_with_flow",

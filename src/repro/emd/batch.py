@@ -32,11 +32,14 @@ kernel:
   call per support group with distances *exactly* equal to per-pair
   :func:`~repro.emd.linprog_backend.solve_emd_linprog`.
 
-Groups of pairs whose supports differ but whose union stays small
-(d-dimensional histogram signatures with varying bin occupancy over one
-grid) are embedded into the union support with zero-weight atoms and
-solved as a single batch; only genuinely irregular supports fall back to
-the per-pair LP.  A :class:`~repro.exceptions.SolverError` raised inside
+Pairs whose two supports differ but overlap on one grid (d-dimensional
+histogram signatures with varying bin occupancy) are each embedded into
+the union of *their own* two supports with zero-weight atoms — a
+pair-local decision, so every pair is routed and solved identically no
+matter which other pairs share the batch (the invariant
+:mod:`repro.emd.sharding` relies on for exact shard merges) — and pairs
+whose unions coincide are stacked into a single batched solve.  Only
+genuinely irregular supports fall back to the per-pair LP.  A :class:`~repro.exceptions.SolverError` raised inside
 any batched group solve is re-raised with the
 :meth:`~PairwiseEMDEngine.compute_pairs` positions of the pairs that
 were stacked into the failing group (``SolverError.pair_indices``), so
@@ -48,7 +51,7 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,6 +71,68 @@ PARALLEL_BACKENDS = ("serial", "thread", "process")
 #: solvers accepted by :func:`repro.emd.emd`, the block-diagonal batched
 #: exact LP, and the batched entropic approximation.
 EMD_SOLVERS = ("auto", "linprog", "linprog_batch", "simplex", "sinkhorn_batch")
+
+
+def band_pair_counts(n: int, bandwidth: int) -> np.ndarray:
+    """Stored band pairs owned by each row.
+
+    ``counts[i] = min(bandwidth − 1, n − 1 − i)`` — row ``i`` owns the
+    pairs ``(i, j)`` with ``i < j < min(n, i + bandwidth)``.  Shard
+    planners balance row-block partitions on these counts without
+    materialising any pairs.
+    """
+    counts = np.minimum(bandwidth - 1, n - 1 - np.arange(n))
+    return np.maximum(counts, 0)
+
+
+def band_pair_indices(
+    n: int, bandwidth: int, row_start: int = 0, row_stop: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Band index pairs ``(i, j)``, ``i < j``, owned by a row range.
+
+    Row-major over rows ``row_start … row_stop − 1``, built without a
+    Python double loop; with the default full range this enumerates the
+    whole band in the canonical order used by
+    :meth:`BandedDistanceMatrix.pair_indices`.
+    """
+    row_stop = n if row_stop is None else row_stop
+    if not 0 <= row_start <= row_stop <= n:
+        raise ValidationError(f"row range [{row_start}, {row_stop}) invalid for n={n}")
+    rows = np.arange(row_start, row_stop)
+    if rows.size == 0:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int)
+    counts = np.minimum(bandwidth - 1, n - 1 - rows)
+    counts = np.maximum(counts, 0)
+    total = int(counts.sum())
+    i = np.repeat(rows, counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    j = i + 1 + (np.arange(total) - np.repeat(starts, counts))
+    return i, j
+
+
+def _check_anneal(
+    anneal: Optional[Sequence[float]], epsilon: float
+) -> Optional[Tuple[float, ...]]:
+    """Validate an epsilon-annealing prefix against the final epsilon.
+
+    The stages must be finite, positive and strictly decreasing, and
+    every stage must stay above the final ``epsilon`` — otherwise the
+    "anneal" would heat up, which only wastes the warm start.
+    """
+    if anneal is None:
+        return None
+    stages = tuple(float(e) for e in anneal)
+    if not stages:
+        return None
+    if any(not np.isfinite(e) or e <= 0 for e in stages):
+        raise ConfigurationError("sinkhorn_anneal stages must be positive and finite")
+    schedule = stages + (float(epsilon),)
+    if any(a <= b for a, b in zip(schedule, schedule[1:])):
+        raise ConfigurationError(
+            "sinkhorn_anneal must be strictly decreasing and stay above "
+            f"sinkhorn_epsilon={epsilon}; got stages {stages}"
+        )
+    return stages
 
 
 class BandedDistanceMatrix:
@@ -117,20 +182,47 @@ class BandedDistanceMatrix:
             return False
         return abs(i - j) < self._bandwidth
 
-    def pair_indices(self) -> Tuple[np.ndarray, np.ndarray]:
-        """All stored index pairs as ``(i, j)`` arrays with ``i < j``.
+    def pair_indices(
+        self, row_start: int = 0, row_stop: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stored index pairs as ``(i, j)`` arrays with ``i < j``.
 
         Row-major (same order as :meth:`pairs`), built without a Python
         double loop: row ``i`` contributes offsets ``1 … counts[i]`` where
-        ``counts[i] = min(bandwidth − 1, n − 1 − i)``.
+        ``counts[i] = min(bandwidth − 1, n − 1 − i)``.  The optional
+        ``[row_start, row_stop)`` range restricts the result to pairs
+        *owned* by those rows (``i`` in range; ``j`` may reach up to
+        ``bandwidth − 1`` rows further) — the slicing primitive shard
+        planners partition the band with.
         """
-        counts = np.minimum(self._bandwidth - 1, self._n - 1 - np.arange(self._n))
-        counts = np.maximum(counts, 0)
-        total = int(counts.sum())
-        i = np.repeat(np.arange(self._n), counts)
-        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        j = i + 1 + (np.arange(total) - np.repeat(starts, counts))
-        return i, j
+        return band_pair_indices(self._n, self._bandwidth, row_start, row_stop)
+
+    def set_pairs(
+        self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Vectorised writer: ``self[rows[k], cols[k]] = values[k]``.
+
+        Every pair must be in band and off the diagonal; used by the
+        engine's band build and by shard merges, which would otherwise
+        pay one ``__setitem__`` bounds check per pair.
+        """
+        r = np.asarray(rows, dtype=int)
+        c = np.asarray(cols, dtype=int)
+        v = np.asarray(values, dtype=float)
+        if r.shape != c.shape or r.shape != v.shape or r.ndim != 1:
+            raise ValidationError("rows, cols and values must be 1-D and equally long")
+        if r.size == 0:
+            return
+        if r.min() < 0 or c.min() < 0 or r.max() >= self._n or c.max() >= self._n:
+            raise ValidationError("pair indices out of range")
+        lo = np.minimum(r, c)
+        hi = np.maximum(r, c)
+        offset = hi - lo
+        if np.any(offset == 0) or np.any(offset >= self._bandwidth):
+            raise ValidationError(
+                f"pairs must be off-diagonal and inside the band of width {self._bandwidth}"
+            )
+        self._band[lo, offset - 1] = v
 
     def pairs(self) -> Iterator[Tuple[int, int]]:
         """All stored index pairs ``(i, j)`` with ``i < j``, row-major.
@@ -379,6 +471,16 @@ class PairwiseEMDEngine:
         (only used with ``backend="sinkhorn_batch"``).
     sinkhorn_max_iter:
         Iteration budget per batched Sinkhorn solve.
+    sinkhorn_tol:
+        L1 row-marginal tolerance at which a batched Sinkhorn pair is
+        considered converged (and compacted out of the iteration).  The
+        solver default (1e-9) is far below scoring-grade accuracy;
+        raising it buys band-build speed directly.
+    sinkhorn_anneal:
+        Optional decreasing epsilon-annealing prefix.  When given, each
+        batched solve runs the schedule ``(*sinkhorn_anneal,
+        sinkhorn_epsilon)`` with warm-started duals — converging to the
+        small final epsilon much faster than a cold start at it.
 
     Attributes
     ----------
@@ -431,6 +533,8 @@ class PairwiseEMDEngine:
         n_workers: Optional[int] = None,
         sinkhorn_epsilon: float = 0.05,
         sinkhorn_max_iter: int = 2000,
+        sinkhorn_tol: float = 1e-9,
+        sinkhorn_anneal: Optional[Sequence[float]] = None,
     ):
         if backend not in EMD_SOLVERS:
             raise ConfigurationError(
@@ -444,12 +548,16 @@ class PairwiseEMDEngine:
             n_workers = check_positive_int(n_workers, "n_workers")
         if not np.isfinite(sinkhorn_epsilon) or sinkhorn_epsilon <= 0:
             raise ConfigurationError("sinkhorn_epsilon must be positive and finite")
+        if not np.isfinite(sinkhorn_tol) or sinkhorn_tol <= 0:
+            raise ConfigurationError("sinkhorn_tol must be positive and finite")
         self.ground_distance = ground_distance
         self.backend = backend
         self.parallel_backend = parallel_backend
         self.n_workers = n_workers
         self.sinkhorn_epsilon = float(sinkhorn_epsilon)
         self.sinkhorn_max_iter = check_positive_int(sinkhorn_max_iter, "sinkhorn_max_iter")
+        self.sinkhorn_tol = float(sinkhorn_tol)
+        self.sinkhorn_anneal = _check_anneal(sinkhorn_anneal, self.sinkhorn_epsilon)
         self.n_evaluations = 0
         self.n_fast_path = 0
         self.n_cost_cache_hits = 0
@@ -460,6 +568,14 @@ class PairwiseEMDEngine:
         self._pool_failed = False
         self._closed = False
         self._cost_cache: dict = {}
+        self._union_cache: dict = {}
+
+    @property
+    def sinkhorn_schedule(self) -> Union[float, Tuple[float, ...]]:
+        """The epsilon (or annealing schedule) each batched solve runs."""
+        if self.sinkhorn_anneal is None:
+            return self.sinkhorn_epsilon
+        return self.sinkhorn_anneal + (self.sinkhorn_epsilon,)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -479,6 +595,7 @@ class PairwiseEMDEngine:
             self._pool.shutdown()
             self._pool = None
         self._cost_cache.clear()
+        self._union_cache.clear()
         self._closed = True
 
     def __enter__(self) -> "PairwiseEMDEngine":
@@ -693,16 +810,19 @@ class PairwiseEMDEngine:
         """Route pairs through a batched multi-pair solver.
 
         Pairs are grouped by support signature: every group whose pairs
-        share one (A-support, B-support) pattern is solved over a single
-        shared cost kernel — one tensor-batched Sinkhorn iteration
+        share one common support is solved over a single shared cost
+        kernel — one tensor-batched Sinkhorn iteration
         (``backend="sinkhorn_batch"``) or one block-diagonal HiGHS LP
-        (``backend="linprog_batch"``).  Leftover singleton pairs are
-        embedded into the union of their supports (zero-weight atoms for
-        missing positions) when that union stays small — the
-        d-dimensional common-grid histogram case — and only genuinely
-        irregular supports fall back to the per-pair LP.  ``indices``
-        are positions into ``pairs``/``out``, so failure context and
-        results keep the caller's frame of reference.
+        (``backend="linprog_batch"``).  Mixed-support pairs are each
+        embedded into the union of their own two supports (zero-weight
+        atoms for missing positions) when that union stays small — the
+        d-dimensional common-grid histogram case — with pairs whose
+        unions coincide stacked into one solve; only genuinely
+        irregular supports fall back to the per-pair LP.  Every routing
+        decision is pair-local, so distances do not depend on how pairs
+        are batched.  ``indices`` are positions into ``pairs``/``out``,
+        so failure context and results keep the caller's frame of
+        reference.
         """
         by_dim: Dict[int, List[int]] = {}
         for p in indices:
@@ -732,8 +852,9 @@ class PairwiseEMDEngine:
                 cost,
                 weights_a,
                 weights_b,
-                epsilon=self.sinkhorn_epsilon,
+                epsilon=self.sinkhorn_schedule,
                 max_iter=self.sinkhorn_max_iter,
+                tol=self.sinkhorn_tol,
             )
         except SolverError as exc:
             raise self._translate_group_error(exc, members) from exc
@@ -780,6 +901,43 @@ class PairwiseEMDEngine:
             backend="auto",
         )
 
+    def _union_embedding(
+        self, positions_a: np.ndarray, positions_b: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Pairwise union support and atom indices, or ``None`` if irregular.
+
+        Embeds a mixed-support pair into the union of *its own* two
+        supports — a decision that depends on nothing but the pair, so a
+        pair is routed (and its distance computed) identically no matter
+        which other pairs share the batch.  That batch-invariance is the
+        property the sharded band builder relies on for exact merges.
+        Embedding happens only when the supports genuinely overlap
+        (subsets of one grid make the union strictly smaller than the
+        concatenation) and the union stays small enough for the
+        (P, U, U) iteration; results are cached per support pattern.
+        """
+        key = (self._support_key(positions_a), self._support_key(positions_b))
+        cached = self._union_cache.get(key, False)
+        if cached is not False:
+            return cached
+        # Canonicalise -0.0 to +0.0 (x + 0.0 does exactly that and nothing
+        # else): np.unique dedups rows by value, but the atom-index lookup
+        # below is keyed by raw bytes, and the two zeros differ bytewise.
+        pos_a = positions_a + 0.0
+        pos_b = positions_b + 0.0
+        union = np.unique(np.vstack([pos_a, pos_b]), axis=0)
+        result: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        overlap = union.shape[0] < pos_a.shape[0] + pos_b.shape[0]
+        if overlap and union.shape[0] <= max(32, 4 * max(pos_a.shape[0], pos_b.shape[0])):
+            union_index = {row.tobytes(): idx for idx, row in enumerate(union)}
+            idx_a = np.array([union_index[row.tobytes()] for row in pos_a], dtype=int)
+            idx_b = np.array([union_index[row.tobytes()] for row in pos_b], dtype=int)
+            result = (union, idx_a, idx_b)
+        if len(self._union_cache) >= self._COST_CACHE_MAX:
+            self._union_cache.clear()
+        self._union_cache[key] = result
+        return result
+
     def _solve_batched_dim_group(
         self,
         pairs: List[Tuple[Signature, Signature]],
@@ -788,75 +946,55 @@ class PairwiseEMDEngine:
     ) -> None:
         supports: Dict[tuple, np.ndarray] = {}
         groups: Dict[Tuple[tuple, tuple], List[int]] = {}
+        mixed: List[int] = []
         for p in indices:
             sig_a, sig_b = pairs[p]
             key_a = self._support_key(sig_a.positions)
             key_b = self._support_key(sig_b.positions)
+            if key_a != key_b:
+                mixed.append(p)
+                continue
             supports.setdefault(key_a, sig_a.positions)
-            supports.setdefault(key_b, sig_b.positions)
             groups.setdefault((key_a, key_b), []).append(p)
 
-        singles: List[int] = []
-        for (key_a, key_b), members in groups.items():
-            if len(members) == 1 and key_a != key_b:
-                singles.append(members[0])
-                continue
-            # Shared cost kernel for the whole group, one batched solve.
-            cost = self._cost_between(supports[key_a], supports[key_b])
+        # Common-support groups: shared cost kernel, one batched solve.
+        for (key_a, _key_b), members in groups.items():
+            cost = self._cost_between(supports[key_a], supports[key_a])
             weights_a = np.stack([pairs[p][0].weights for p in members])
             weights_b = np.stack([pairs[p][1].weights for p in members])
             self._solve_group(members, cost, weights_a, weights_b, out)
-        if not singles:
-            return
 
-        # Singleton support patterns: embed into the union support if it
-        # stays small (histogram signatures with varying bin occupancy
-        # over one grid), otherwise solve the pair with the exact LP.
-        single_supports: Dict[tuple, np.ndarray] = {}
-        for p in singles:
+        # Mixed-support pairs: embed each into the union of its own two
+        # supports (histogram signatures with varying bin occupancy over
+        # one grid); pairs whose unions coincide share one batched solve.
+        # Genuinely irregular supports fall back to the per-pair LP.
+        union_groups: Dict[tuple, List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]] = {}
+        union_supports: Dict[tuple, np.ndarray] = {}
+        irregular: List[int] = []
+        for p in mixed:
             sig_a, sig_b = pairs[p]
-            single_supports.setdefault(self._support_key(sig_a.positions), sig_a.positions)
-            single_supports.setdefault(self._support_key(sig_b.positions), sig_b.positions)
-        # Canonicalise -0.0 to +0.0 (x + 0.0 does exactly that and nothing
-        # else): np.unique dedups rows by value, but the atom-index lookup
-        # below is keyed by raw bytes, and the two zeros differ bytewise.
-        single_supports = {
-            key: positions + 0.0 for key, positions in single_supports.items()
-        }
-        union = np.unique(np.vstack(list(single_supports.values())), axis=0)
-        max_size = max(positions.shape[0] for positions in single_supports.values())
-        total_atoms = sum(positions.shape[0] for positions in single_supports.values())
-        # Embed only when the supports genuinely overlap (subsets of one
-        # grid make the union strictly smaller than the concatenation)
-        # and the union stays small enough for the (P, U, U) iteration.
-        grid_aligned = union.shape[0] < total_atoms
-        if grid_aligned and union.shape[0] <= max(32, 4 * max_size):
-            union_index = {row.tobytes(): idx for idx, row in enumerate(union)}
-            atom_indices = {
-                key: np.array(
-                    [union_index[row.tobytes()] for row in positions], dtype=int
-                )
-                for key, positions in single_supports.items()
-            }
+            embedding = self._union_embedding(sig_a.positions, sig_b.positions)
+            if embedding is None:
+                irregular.append(p)
+                continue
+            union, idx_a, idx_b = embedding
+            union_key = self._support_key(union)
+            union_supports.setdefault(union_key, union)
+            union_groups.setdefault(union_key, []).append((p, union, idx_a, idx_b))
+        for union_key, members in union_groups.items():
+            union = union_supports[union_key]
             n_union = union.shape[0]
-            weights_a = np.zeros((len(singles), n_union), dtype=float)
-            weights_b = np.zeros((len(singles), n_union), dtype=float)
-            for row, p in enumerate(singles):
+            weights_a = np.zeros((len(members), n_union), dtype=float)
+            weights_b = np.zeros((len(members), n_union), dtype=float)
+            member_indices = [p for p, _, _, _ in members]
+            for row, (p, _, idx_a, idx_b) in enumerate(members):
                 sig_a, sig_b = pairs[p]
-                np.add.at(
-                    weights_a[row],
-                    atom_indices[self._support_key(sig_a.positions)],
-                    sig_a.weights,
-                )
-                np.add.at(
-                    weights_b[row],
-                    atom_indices[self._support_key(sig_b.positions)],
-                    sig_b.weights,
-                )
+                np.add.at(weights_a[row], idx_a, sig_a.weights)
+                np.add.at(weights_b[row], idx_b, sig_b.weights)
             cost = self._cost_between(union, union)
-            self._solve_group(singles, cost, weights_a, weights_b, out)
-        else:
-            self._solve_irregular_singles(pairs, singles, out)
+            self._solve_group(member_indices, cost, weights_a, weights_b, out)
+        if irregular:
+            self._solve_irregular_singles(pairs, irregular, out)
 
     def distances_from(
         self, signature: Signature, others: Sequence[Signature]
@@ -876,10 +1014,7 @@ class PairwiseEMDEngine:
         values = self.compute_pairs(
             [(signatures[i], signatures[j]) for i, j in zip(rows.tolist(), cols.tolist())]
         )
-        if rows.size:
-            # All pairs are in-band by construction; write the band
-            # storage directly instead of one __setitem__ check per pair.
-            banded._band[rows, cols - rows - 1] = values
+        banded.set_pairs(rows, cols, values)
         return banded
 
 

@@ -32,7 +32,7 @@ chunk, so callers never lose track of which problems were in flight.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy import sparse

@@ -18,7 +18,6 @@ equal and is an accepted approximation otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

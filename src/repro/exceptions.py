@@ -37,13 +37,40 @@ class SolverError(ReproError, RuntimeError):
         batch-local for errors raised by the solvers themselves,
         translated to :meth:`PairwiseEMDEngine.compute_pairs` positions
         by the engine.  ``None`` for single-pair failures.
+    shard_id:
+        When the failure happened inside a sharded band build
+        (:class:`repro.emd.sharding.ShardRunner`), the id of the shard
+        whose solve failed; ``pair_indices`` are then positions into
+        that shard's pair ordering (see
+        :meth:`repro.emd.sharding.ShardPlan.pair_indices`).  ``None``
+        outside shard execution.
+    shard_rows:
+        The failing shard's owned row range ``(row_start, row_stop)``,
+        or ``None`` outside shard execution.
     """
 
-    def __init__(self, *args, pair_indices=None):
+    def __init__(self, *args, pair_indices=None, shard_id=None, shard_rows=None):
         super().__init__(*args)
         self.pair_indices = (
             None if pair_indices is None else tuple(int(i) for i in pair_indices)
         )
+        self.shard_id = None if shard_id is None else int(shard_id)
+        self.shard_rows = (
+            None
+            if shard_rows is None
+            else (int(shard_rows[0]), int(shard_rows[1]))
+        )
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Raised when a shard checkpoint cannot be used for a resume.
+
+    A checkpoint is *stale* when its recorded shard-plan hash or
+    engine-config fingerprint does not match the current run — silently
+    merging it would mix distances computed under different solver
+    settings, so the runner refuses and asks the caller to clear the
+    checkpoint directory (or point at a fresh one) instead.
+    """
 
 
 class NotFittedError(ReproError, RuntimeError):

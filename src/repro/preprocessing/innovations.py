@@ -13,7 +13,7 @@ distributional changes are preserved.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -5,7 +5,7 @@ import csv
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_shard_parser, main
 
 
 @pytest.fixture
@@ -99,3 +99,54 @@ class TestMain:
 
         with pytest.raises(ValidationError):
             main([str(path)])
+
+    def test_sharded_detect_matches_plain(self, npz_stream, capsys):
+        base = [str(npz_stream), "--tau", "3", "--tau-test", "3",
+                "--signature", "exact", "--bootstrap", "40", "--seed", "0"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--n-shards", "3"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestShardBuild:
+    def test_parser_defaults(self, tmp_path):
+        args = build_shard_parser().parse_args([str(tmp_path / "x.npz")])
+        assert args.n_shards == 4
+        assert args.mode == "process"
+        assert args.checkpoint_dir is None
+
+    def test_build_writes_band_and_resumes(self, npz_stream, tmp_path, capsys):
+        out_path = tmp_path / "band.npz"
+        argv = ["shard-build", str(npz_stream), "--tau", "3", "--tau-test", "3",
+                "--signature", "exact", "--n-shards", "3", "--mode", "serial",
+                "--checkpoint-dir", str(tmp_path / "ckpt"), "--seed", "0",
+                "--output", str(out_path)]
+        assert main(argv) == 0
+        archive = np.load(out_path)
+        assert archive["band"].shape == (12, 5)
+        assert int(archive["bandwidth"]) == 6
+        assert len(list((tmp_path / "ckpt").glob("shard_*.npz"))) == 3
+        capsys.readouterr()
+        # Second run resumes every shard from the checkpoints.
+        assert main(argv[:-2]) == 0
+        assert "resumed 3" in capsys.readouterr().err
+
+    def test_band_matches_detector_build(self, npz_stream, tmp_path):
+        out_path = tmp_path / "band.npz"
+        assert main(
+            ["shard-build", str(npz_stream), "--tau", "3", "--tau-test", "3",
+             "--signature", "exact", "--n-shards", "2", "--mode", "serial",
+             "--seed", "0", "--output", str(out_path)]
+        ) == 0
+        from repro import BagChangePointDetector
+        from repro.core import DetectorConfig
+
+        archive = np.load(npz_stream)
+        bags = [np.asarray(archive[name], dtype=float) for name in sorted(archive.files)]
+        config = DetectorConfig(tau=3, tau_test=3, signature_method="exact", random_state=0)
+        detector = BagChangePointDetector(config)
+        signatures = detector.build_signatures(bags)
+        reference = detector._engine.banded_matrix(signatures, config.window_span)
+        band = np.load(out_path)["band"]
+        assert np.nanmax(np.abs(band - reference.band)) <= 1e-12

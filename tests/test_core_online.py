@@ -1,6 +1,5 @@
 """Tests for the streaming detector."""
 
-import numpy as np
 import pytest
 
 from repro.core import BagChangePointDetector, DetectorConfig, OnlineBagDetector

@@ -1,0 +1,464 @@
+"""Tests for the sharded band builder (:mod:`repro.emd.sharding`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BagChangePointDetector
+from repro.core import DetectorConfig
+from repro.emd import (
+    BandedDistanceMatrix,
+    EngineSettings,
+    PairwiseEMDEngine,
+    ShardPlan,
+    ShardRunner,
+    band_pair_indices,
+    load_shard_checkpoint,
+    merge_shards,
+    save_shard_checkpoint,
+    sharded_banded_matrix,
+)
+from repro.exceptions import (
+    CheckpointError,
+    ConfigurationError,
+    SolverError,
+    ValidationError,
+)
+from repro.signatures import Signature, SignatureBuilder
+
+MERGE_TOL = 1e-12
+
+
+def histogram_signatures(n_bags, side=4, dim=2, seed=0):
+    """Histogram signatures with varying bin occupancy over one grid."""
+    rng = np.random.default_rng(seed)
+    axes = np.meshgrid(*[np.arange(float(side))] * dim)
+    grid = np.column_stack([axis.ravel() for axis in axes])
+    signatures = []
+    for i in range(n_bags):
+        counts = rng.poisson(3.0, size=grid.shape[0]).astype(float)
+        if counts.sum() == 0:
+            counts[0] = 1.0
+        signatures.append(Signature(grid[counts > 0], counts[counts > 0], label=i))
+    return signatures
+
+
+def irregular_signatures(n_bags, seed=0):
+    """k-means-style signatures: every support distinct (per-pair LP path)."""
+    rng = np.random.default_rng(seed)
+    bags = [rng.normal(0.0, 1.0, size=(25, 2)) for _ in range(n_bags)]
+    builder = SignatureBuilder("kmeans", n_clusters=4, random_state=seed)
+    return builder.build_sequence(bags)
+
+
+def band_pairs_set(plan):
+    pairs = set()
+    for spec in plan.shards:
+        i, j = plan.pair_indices(spec.shard_id)
+        for a, b in zip(i.tolist(), j.tolist()):
+            assert (a, b) not in pairs, "pair owned by two shards"
+            pairs.add((a, b))
+    return pairs
+
+
+# ---------------------------------------------------------------------- #
+# Pair-range slicing API
+# ---------------------------------------------------------------------- #
+class TestPairRangeSlicing:
+    def test_row_ranges_partition_the_band(self):
+        n, bw = 23, 7
+        full_i, full_j = band_pair_indices(n, bw)
+        cut = 9
+        head_i, head_j = band_pair_indices(n, bw, 0, cut)
+        tail_i, tail_j = band_pair_indices(n, bw, cut, n)
+        np.testing.assert_array_equal(np.concatenate([head_i, tail_i]), full_i)
+        np.testing.assert_array_equal(np.concatenate([head_j, tail_j]), full_j)
+
+    def test_matrix_method_matches_module_function(self):
+        banded = BandedDistanceMatrix(15, 5)
+        i_m, j_m = banded.pair_indices(3, 11)
+        i_f, j_f = band_pair_indices(15, 5, 3, 11)
+        np.testing.assert_array_equal(i_m, i_f)
+        np.testing.assert_array_equal(j_m, j_f)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValidationError):
+            band_pair_indices(10, 4, 5, 3)
+        with pytest.raises(ValidationError):
+            band_pair_indices(10, 4, 0, 11)
+
+    def test_empty_range_yields_empty_arrays(self):
+        i, j = band_pair_indices(5, 3, 2, 2)
+        assert i.size == 0 and j.size == 0
+        i, j = BandedDistanceMatrix(5, 3).pair_indices(5, 5)
+        assert i.size == 0 and j.size == 0
+
+    def test_set_pairs_round_trips(self):
+        banded = BandedDistanceMatrix(10, 4)
+        rows, cols = banded.pair_indices()
+        values = np.arange(rows.size, dtype=float)
+        banded.set_pairs(rows, cols, values)
+        for k in range(rows.size):
+            assert banded[rows[k], cols[k]] == values[k]
+
+    def test_set_pairs_rejects_out_of_band_and_diagonal(self):
+        banded = BandedDistanceMatrix(10, 4)
+        with pytest.raises(ValidationError):
+            banded.set_pairs(np.array([0]), np.array([5]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            banded.set_pairs(np.array([2]), np.array([2]), np.array([1.0]))
+        with pytest.raises(ValidationError):
+            banded.set_pairs(np.array([0, 1]), np.array([1]), np.array([1.0]))
+
+
+# ---------------------------------------------------------------------- #
+# Shard planning
+# ---------------------------------------------------------------------- #
+class TestShardPlan:
+    @pytest.mark.parametrize(
+        "n,bandwidth,n_shards",
+        [(30, 6, 4), (50, 10, 7), (12, 12, 3), (100, 4, 16), (8, 3, 2)],
+    )
+    def test_shards_partition_the_band(self, n, bandwidth, n_shards):
+        plan = ShardPlan.build(n, bandwidth, n_shards)
+        full_i, full_j = band_pair_indices(n, bandwidth)
+        assert band_pairs_set(plan) == set(zip(full_i.tolist(), full_j.tolist()))
+        assert plan.n_pairs == full_i.size
+        assert sum(spec.n_pairs for spec in plan.shards) == full_i.size
+
+    def test_band_wider_than_shard_row_range(self):
+        # bandwidth - 1 = 11 exceeds every shard's row count; halos span
+        # multiple downstream shards and the partition must still be exact.
+        plan = ShardPlan.build(16, 12, 5)
+        assert any(
+            spec.row_stop - spec.row_start < plan.bandwidth - 1 for spec in plan.shards
+        )
+        full_i, full_j = band_pair_indices(16, 12)
+        assert band_pairs_set(plan) == set(zip(full_i.tolist(), full_j.tolist()))
+        for spec in plan.shards:
+            _, j = plan.pair_indices(spec.shard_id)
+            if j.size:
+                assert j.max() < spec.halo_stop
+                assert spec.halo_stop == min(plan.n, spec.row_stop + plan.bandwidth - 1)
+
+    def test_more_shards_than_rows_degrades_gracefully(self):
+        plan = ShardPlan.build(5, 3, 50)
+        assert plan.n_shards <= 5
+        assert all(spec.n_pairs > 0 for spec in plan.shards)
+        full_i, full_j = band_pair_indices(5, 3)
+        assert band_pairs_set(plan) == set(zip(full_i.tolist(), full_j.tolist()))
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan.build(20, 5, 1)
+        assert plan.n_shards == 1
+        spec = plan.shard(0)
+        assert (spec.row_start, spec.row_stop) == (0, 20)
+        i, j = plan.pair_indices(0)
+        full_i, full_j = band_pair_indices(20, 5)
+        np.testing.assert_array_equal(i, full_i)
+        np.testing.assert_array_equal(j, full_j)
+
+    def test_balancing_is_roughly_even(self):
+        plan = ShardPlan.build(200, 8, 8)
+        sizes = [spec.n_pairs for spec in plan.shards]
+        assert max(sizes) <= 2 * min(sizes)
+
+    def test_plan_hash_tracks_geometry(self):
+        base = ShardPlan.build(30, 6, 4)
+        assert base.plan_hash() == ShardPlan.build(30, 6, 4).plan_hash()
+        assert base.plan_hash() != ShardPlan.build(30, 6, 3).plan_hash()
+        assert base.plan_hash() != ShardPlan.build(30, 8, 4).plan_hash()
+        assert base.plan_hash() != ShardPlan.build(31, 6, 4).plan_hash()
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            ShardPlan(10, 4, (0, 5, 5, 10))
+        with pytest.raises(ValidationError):
+            ShardPlan(10, 4, (1, 10))
+        with pytest.raises(ValidationError):
+            ShardPlan.build(10, 4, 2).shard(7)
+
+
+# ---------------------------------------------------------------------- #
+# Engine settings
+# ---------------------------------------------------------------------- #
+class TestEngineSettings:
+    def test_from_config_carries_solver_knobs(self):
+        config = DetectorConfig(
+            emd_backend="sinkhorn_batch",
+            sinkhorn_epsilon=0.1,
+            sinkhorn_max_iter=500,
+            sinkhorn_tol=1e-6,
+            sinkhorn_anneal=[1.0, 0.3],
+        )
+        settings = EngineSettings.from_config(config)
+        assert settings.backend == "sinkhorn_batch"
+        assert settings.sinkhorn_anneal == (1.0, 0.3)
+        engine = settings.make_engine()
+        assert engine.sinkhorn_schedule == (1.0, 0.3, 0.1)
+        assert engine.sinkhorn_tol == 1e-6
+        engine.close()
+
+    def test_fingerprint_changes_with_each_knob(self):
+        base = EngineSettings()
+        assert base.fingerprint() == EngineSettings().fingerprint()
+        variants = [
+            EngineSettings(ground_distance="manhattan"),
+            EngineSettings(backend="linprog_batch"),
+            EngineSettings(sinkhorn_epsilon=0.1),
+            EngineSettings(sinkhorn_max_iter=100),
+            EngineSettings(sinkhorn_tol=1e-6),
+            EngineSettings(sinkhorn_anneal=(1.0,)),
+        ]
+        prints = {settings.fingerprint() for settings in variants}
+        assert len(prints) == len(variants)
+        assert base.fingerprint() not in prints
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EngineSettings(backend="nope")
+
+
+# ---------------------------------------------------------------------- #
+# Merge parity with the single-process build
+# ---------------------------------------------------------------------- #
+class TestMergeParity:
+    @pytest.mark.parametrize("backend", ["auto", "linprog_batch", "sinkhorn_batch"])
+    def test_histogram_band_matches_single_process(self, backend):
+        signatures = histogram_signatures(24, seed=3)
+        bandwidth = 6
+        reference = PairwiseEMDEngine(backend=backend).banded_matrix(
+            signatures, bandwidth
+        )
+        plan = ShardPlan.build(len(signatures), bandwidth, 4)
+        runner = ShardRunner(plan, EngineSettings(backend=backend), mode="serial")
+        merged = runner.run(signatures)
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+    def test_irregular_band_uses_per_pair_lp_and_matches(self):
+        # k-means signatures: all supports distinct, so every backend's
+        # irregular per-pair LP fallback is what actually runs.
+        signatures = irregular_signatures(18, seed=5)
+        bandwidth = 5
+        reference = PairwiseEMDEngine(backend="auto").banded_matrix(
+            signatures, bandwidth
+        )
+        merged = sharded_banded_matrix(signatures, bandwidth, 3, mode="serial")
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+    def test_process_mode_matches_serial(self):
+        signatures = histogram_signatures(16, seed=7)
+        plan = ShardPlan.build(len(signatures), 5, 3)
+        serial = ShardRunner(plan, mode="serial").run(signatures)
+        process = ShardRunner(plan, mode="process", n_workers=2).run(signatures)
+        assert np.nanmax(np.abs(process.band - serial.band)) <= MERGE_TOL
+
+    def test_shard_count_does_not_change_the_band(self):
+        signatures = histogram_signatures(20, seed=11)
+        bands = [
+            sharded_banded_matrix(signatures, 6, k, mode="serial").band
+            for k in (1, 2, 5)
+        ]
+        for other in bands[1:]:
+            assert np.nanmax(np.abs(other - bands[0])) <= MERGE_TOL
+
+    def test_merge_requires_every_shard(self):
+        plan = ShardPlan.build(10, 4, 2)
+        values = {0: np.zeros(plan.shard(0).n_pairs)}
+        with pytest.raises(ValidationError):
+            merge_shards(plan, values)
+        values[1] = np.zeros(plan.shard(1).n_pairs + 1)
+        with pytest.raises(ValidationError):
+            merge_shards(plan, values)
+
+    def test_signature_count_must_match_plan(self):
+        plan = ShardPlan.build(10, 4, 2)
+        with pytest.raises(ValidationError):
+            ShardRunner(plan, mode="serial").run(histogram_signatures(9))
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoints
+# ---------------------------------------------------------------------- #
+class TestCheckpoints:
+    def make(self, tmp_path, n_shards=4, **settings_kwargs):
+        signatures = histogram_signatures(20, seed=2)
+        plan = ShardPlan.build(len(signatures), 6, n_shards)
+        runner = ShardRunner(
+            plan,
+            EngineSettings(**settings_kwargs),
+            mode="serial",
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        return signatures, plan, runner
+
+    def test_resume_after_simulated_crash(self, tmp_path):
+        signatures, plan, runner = self.make(tmp_path)
+        # The "crashed" first run finished two of four shards.
+        runner.run_shard(signatures, 0)
+        runner.run_shard(signatures, 2)
+        resumed = ShardRunner(
+            plan, EngineSettings(), mode="serial", checkpoint_dir=tmp_path / "ckpt"
+        )
+        merged = resumed.run(signatures)
+        assert resumed.n_shards_resumed == 2
+        assert resumed.n_shards_computed == plan.n_shards - 2
+        reference = PairwiseEMDEngine().banded_matrix(signatures, plan.bandwidth)
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+    def test_full_resume_computes_nothing(self, tmp_path):
+        signatures, plan, runner = self.make(tmp_path)
+        first = runner.run(signatures)
+        again = ShardRunner(
+            plan, EngineSettings(), mode="serial", checkpoint_dir=tmp_path / "ckpt"
+        )
+        second = again.run(signatures)
+        assert again.n_shards_computed == 0
+        assert again.n_shards_resumed == plan.n_shards
+        assert np.nanmax(np.abs(second.band - first.band)) == 0.0
+
+    def test_stale_fingerprint_rejected(self, tmp_path):
+        signatures, plan, runner = self.make(tmp_path)
+        runner.run(signatures)
+        stale = ShardRunner(
+            plan,
+            EngineSettings(sinkhorn_epsilon=0.99),
+            mode="serial",
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        with pytest.raises(CheckpointError, match="different engine configuration"):
+            stale.run(signatures)
+
+    def test_stale_plan_rejected(self, tmp_path):
+        signatures, plan, runner = self.make(tmp_path)
+        runner.run(signatures)
+        other_plan = ShardPlan.build(len(signatures), 6, 3)
+        stale = ShardRunner(
+            other_plan, EngineSettings(), mode="serial", checkpoint_dir=tmp_path / "ckpt"
+        )
+        with pytest.raises(CheckpointError, match="different shard plan"):
+            stale.run(signatures)
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        signatures, plan, runner = self.make(tmp_path)
+        runner.run(signatures)
+        path = tmp_path / "ckpt" / "shard_00001.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_shard_checkpoint(
+                tmp_path / "ckpt", plan, 1, EngineSettings().fingerprint()
+            )
+
+    def test_missing_checkpoint_reads_as_none(self, tmp_path):
+        plan = ShardPlan.build(20, 6, 4)
+        assert (
+            load_shard_checkpoint(tmp_path, plan, 0, EngineSettings().fingerprint())
+            is None
+        )
+
+    def test_save_validates_value_length(self, tmp_path):
+        plan = ShardPlan.build(20, 6, 4)
+        with pytest.raises(ValidationError):
+            save_shard_checkpoint(tmp_path, plan, 0, np.zeros(3), "fp")
+
+    def test_finished_shards_survive_a_later_failure(self, tmp_path, monkeypatch):
+        # Checkpoints must be written as each shard finishes, not after
+        # the whole run: a failure (or kill) in shard k leaves shards
+        # 0 … k−1 on disk for the next run to resume.
+        signatures, plan, runner = self.make(tmp_path)
+        real_compute = PairwiseEMDEngine.compute_pairs
+        calls = {"n": 0}
+
+        def failing_compute(self, pairs):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise SolverError("synthetic failure in the third shard")
+            return real_compute(self, pairs)
+
+        monkeypatch.setattr(PairwiseEMDEngine, "compute_pairs", failing_compute)
+        with pytest.raises(SolverError):
+            runner.run(signatures)
+        monkeypatch.undo()
+        assert len(list((tmp_path / "ckpt").glob("shard_*.npz"))) == 2
+        resumed = ShardRunner(
+            plan, EngineSettings(), mode="serial", checkpoint_dir=tmp_path / "ckpt"
+        )
+        merged = resumed.run(signatures)
+        assert resumed.n_shards_resumed == 2
+        reference = PairwiseEMDEngine().banded_matrix(signatures, plan.bandwidth)
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+    def test_checkpoint_dir_alone_engages_checkpointing(self, step_change_bags, tmp_path):
+        from repro import BagChangePointDetector
+        from repro.core import DetectorConfig
+
+        config = DetectorConfig(
+            tau=4,
+            tau_test=4,
+            signature_method="exact",
+            n_bootstrap=40,
+            random_state=0,
+            shard_checkpoint_dir=tmp_path / "ckpt",
+        )
+        BagChangePointDetector(config).detect(step_change_bags)
+        assert len(list((tmp_path / "ckpt").glob("shard_*.npz"))) == 1
+
+
+# ---------------------------------------------------------------------- #
+# Failure context
+# ---------------------------------------------------------------------- #
+class TestSolverErrorContext:
+    def test_shard_context_attached(self, monkeypatch, tmp_path):
+        signatures = histogram_signatures(12, seed=1)
+        plan = ShardPlan.build(len(signatures), 4, 2)
+
+        def boom(self, pairs):
+            raise SolverError("synthetic failure", pair_indices=(0, 1))
+
+        monkeypatch.setattr(PairwiseEMDEngine, "compute_pairs", boom)
+        runner = ShardRunner(plan, mode="serial")
+        with pytest.raises(SolverError) as excinfo:
+            runner.run(signatures)
+        assert excinfo.value.shard_id == 0
+        spec = plan.shard(0)
+        assert excinfo.value.shard_rows == (spec.row_start, spec.row_stop)
+        assert excinfo.value.pair_indices == (0, 1)
+        assert "shard 0" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------- #
+# Detector integration
+# ---------------------------------------------------------------------- #
+class TestDetectorIntegration:
+    def test_sharded_detect_matches_plain(self, step_change_bags):
+        kwargs = dict(
+            tau=4,
+            tau_test=4,
+            signature_method="exact",
+            n_bootstrap=40,
+            random_state=0,
+        )
+        plain = BagChangePointDetector(DetectorConfig(**kwargs)).detect(step_change_bags)
+        sharded = BagChangePointDetector(
+            DetectorConfig(n_shards=3, **kwargs)
+        ).detect(step_change_bags)
+        for a, b in zip(plain.points, sharded.points):
+            assert a.score == b.score
+            assert a.alert == b.alert
+
+    def test_detect_writes_and_resumes_checkpoints(self, step_change_bags, tmp_path):
+        config = DetectorConfig(
+            tau=4,
+            tau_test=4,
+            signature_method="exact",
+            n_bootstrap=40,
+            random_state=0,
+            n_shards=3,
+            shard_checkpoint_dir=tmp_path / "ckpt",
+        )
+        first = BagChangePointDetector(config).detect(step_change_bags)
+        assert len(list((tmp_path / "ckpt").glob("shard_*.npz"))) == 3
+        second = BagChangePointDetector(config).detect(step_change_bags)
+        for a, b in zip(first.points, second.points):
+            assert a.score == b.score
