@@ -1,0 +1,65 @@
+"""Shared typing vocabulary for the :mod:`repro` package.
+
+Central definitions of the array aliases, seed types and structural
+interfaces used across the package, so signatures stay consistent and a
+reader can find the contract of "a quantizer" or "a pairwise solver" in
+one place.  Everything here is typing-only; importing this module has no
+runtime side effects beyond name definitions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Tuple, Union, runtime_checkable
+
+import numpy as np
+import numpy.typing as npt
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from .quantize.base import QuantizationResult
+    from .signatures.signature import Signature
+
+#: A float64 numpy array — the working dtype of every distance matrix,
+#: weight vector and signature position array in the package.
+FloatArray = npt.NDArray[np.float64]
+
+#: An integer numpy array (labels, counts, pair indices).
+IntArray = npt.NDArray[np.int64]
+
+#: A boolean numpy mask.
+BoolArray = npt.NDArray[np.bool_]
+
+#: Anything accepted where randomness needs seeding: ``None`` (fresh
+#: entropy), an integer seed, or an already-constructed Generator.  The
+#: package never touches the legacy ``np.random.*`` global state
+#: (enforced by reprolint rule RL002).
+SeedLike = Union[None, int, np.random.Generator]
+
+#: A ``(row, col)`` pair index into a banded distance matrix.
+PairIndex = Tuple[int, int]
+
+
+@runtime_checkable
+class PairwiseSolver(Protocol):
+    """Structural interface of a per-pair EMD solver.
+
+    Anything callable on two signatures (plus a precomputed ground-cost
+    matrix) that returns the transport cost satisfies this protocol; the
+    engine's string-dispatched backends and test doubles alike conform
+    without inheriting from a common base.
+    """
+
+    def __call__(
+        self, sig_a: "Signature", sig_b: "Signature", cost: FloatArray
+    ) -> float: ...
+
+
+@runtime_checkable
+class Quantizer(Protocol):
+    """Structural interface of a bag quantiser (paper Section 3.1).
+
+    :class:`repro.quantize.base.BaseQuantizer` subclasses satisfy this
+    protocol, but so does any object exposing ``fit``; signature
+    builders depend only on this surface.
+    """
+
+    def fit(self, data: np.ndarray) -> "QuantizationResult": ...

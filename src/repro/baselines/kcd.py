@@ -41,7 +41,7 @@ class KernelChangeDetection:
         concatenation of the two windows at every inspection point.
     """
 
-    def __init__(self, window: int = 20, nu: float = 0.2, gamma: Optional[float] = None):
+    def __init__(self, window: int = 20, nu: float = 0.2, gamma: Optional[float] = None) -> None:
         self.window = check_positive_int(window, "window", minimum=2)
         if not 0.0 < nu <= 1.0:
             raise ValidationError("nu must lie in (0, 1]")

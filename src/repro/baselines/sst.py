@@ -56,7 +56,7 @@ class SingularSpectrumTransformation:
         Number of leading left singular vectors kept from each matrix.
     """
 
-    def __init__(self, window: int = 10, n_columns: int = 10, rank: int = 2):
+    def __init__(self, window: int = 10, n_columns: int = 10, rank: int = 2) -> None:
         self.window = check_positive_int(window, "window", minimum=2)
         self.n_columns = check_positive_int(n_columns, "n_columns", minimum=2)
         self.rank = check_positive_int(rank, "rank")

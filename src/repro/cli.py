@@ -31,7 +31,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .core import BagChangePointDetector, BagSequence, DetectorConfig
+from .core.config import SCORES, SIGNATURE_METHODS, WEIGHTINGS
 from .emd import EMD_SOLVERS
+from .emd.ground_distance import GROUND_DISTANCES
+from .emd.registry import PARALLEL_BACKENDS, SHARD_MODES
 from .emd.sharding import EngineSettings, ShardPlan, ShardRunner
 from .exceptions import ValidationError
 
@@ -74,11 +77,21 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tau-test", type=int, default=5, help="test window length")
     parser.add_argument(
         "--signature",
-        choices=("kmeans", "kmedoids", "histogram", "lvq", "exact"),
+        choices=SIGNATURE_METHODS,
         default="kmeans",
         help="signature construction method",
     )
     parser.add_argument("--clusters", type=int, default=8, help="signature size K")
+    parser.add_argument(
+        "--bins", type=int, default=10,
+        help="bins per dimension for --signature histogram",
+    )
+    parser.add_argument(
+        "--ground-distance",
+        choices=GROUND_DISTANCES,
+        default="euclidean",
+        help="ground distance of the EMD between signature representatives",
+    )
     parser.add_argument(
         "--emd-backend",
         choices=EMD_SOLVERS,
@@ -115,10 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
         description="Bag-of-data change-point detection (Koshijima, Hino & Murata).",
     )
     _add_common_args(parser)
-    parser.add_argument("--score", choices=("kl", "lr"), default="kl", help="change-point score")
+    parser.add_argument("--score", choices=SCORES, default="kl", help="change-point score")
+    parser.add_argument(
+        "--weighting",
+        choices=WEIGHTINGS,
+        default="uniform",
+        help="window weighting: the paper's uniform weights or Eq. 15 discounting",
+    )
     parser.add_argument(
         "--parallel",
-        choices=("serial", "thread", "process"),
+        choices=PARALLEL_BACKENDS,
         default="serial",
         help="how the EMD engine computes distance batches",
     )
@@ -159,7 +178,7 @@ def build_shard_parser() -> argparse.ArgumentParser:
         help="number of contiguous row-block shards",
     )
     parser.add_argument(
-        "--mode", choices=("process", "serial"), default="process",
+        "--mode", choices=SHARD_MODES, default="process",
         help="execute pending shards on a process pool (signatures in "
         "shared memory) or sequentially in-process",
     )
@@ -180,7 +199,9 @@ def build_shard_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_bags(parser: argparse.ArgumentParser, path: Path, time_column: str):
+def _load_bags(
+    parser: argparse.ArgumentParser, path: Path, time_column: str
+) -> Optional[List[np.ndarray]]:
     if not path.exists():
         parser.error(f"input file {path} does not exist")
     if path.suffix.lower() == ".npz":
@@ -202,6 +223,8 @@ def shard_build_main(argv: Optional[Sequence[str]] = None) -> int:
         tau_test=args.tau_test,
         signature_method=args.signature,
         n_clusters=args.clusters,
+        bins=args.bins,
+        ground_distance=args.ground_distance,
         emd_backend=args.emd_backend,
         sinkhorn_epsilon=args.sinkhorn_epsilon,
         sinkhorn_max_iter=args.sinkhorn_max_iter,
@@ -258,6 +281,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         score=args.score,
         signature_method=args.signature,
         n_clusters=args.clusters,
+        bins=args.bins,
+        ground_distance=args.ground_distance,
         emd_backend=args.emd_backend,
         sinkhorn_epsilon=args.sinkhorn_epsilon,
         sinkhorn_max_iter=args.sinkhorn_max_iter,
@@ -268,6 +293,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_shards=args.n_shards,
         shard_checkpoint_dir=args.shard_checkpoint_dir,
         lr_inspection_index=args.lr_inspection_index,
+        weighting=args.weighting,
         n_bootstrap=args.bootstrap,
         alpha=args.alpha,
         random_state=args.seed,

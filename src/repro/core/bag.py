@@ -9,7 +9,7 @@ change-point detector consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -102,7 +102,7 @@ class BagSequence:
     def __iter__(self) -> Iterator[Bag]:
         return iter(self._bags)
 
-    def __getitem__(self, item):
+    def __getitem__(self, item: Union[int, slice]) -> Union[Bag, "BagSequence"]:
         if isinstance(item, slice):
             return BagSequence(self._bags[item])
         return self._bags[item]

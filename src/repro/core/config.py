@@ -10,12 +10,19 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..emd.batch import EMD_SOLVERS, PARALLEL_BACKENDS, _check_anneal
+from ..emd.registry import EMDSolverName, ParallelBackendName
 from ..exceptions import ConfigurationError, ValidationError
 from ..information import EstimatorConfig
+from ..signatures.builders import SIGNATURE_METHODS
 
-_SCORES = ("kl", "lr")
-_WEIGHTING = ("uniform", "discounted")
-_SIGNATURE_METHODS = ("kmeans", "kmedoids", "histogram", "lvq", "exact")
+#: Change-point scores: symmetrised KL (Eq. 17) and likelihood ratio (Eq. 16).
+SCORES = ("kl", "lr")
+#: Window-weighting schemes: the paper's uniform weights or Eq. 15 discounting.
+WEIGHTINGS = ("uniform", "discounted")
+
+_SCORES = SCORES
+_WEIGHTING = WEIGHTINGS
+_SIGNATURE_METHODS = SIGNATURE_METHODS
 
 
 @dataclass
@@ -122,12 +129,12 @@ class DetectorConfig:
     bins: Union[int, Sequence[int]] = 10
     histogram_range: Optional[Sequence] = None
     ground_distance: str = "euclidean"
-    emd_backend: str = "auto"
+    emd_backend: EMDSolverName = "auto"
     sinkhorn_epsilon: float = 0.05
     sinkhorn_max_iter: int = 2000
     sinkhorn_tol: float = 1e-9
     sinkhorn_anneal: Optional[Sequence[float]] = None
-    parallel_backend: str = "serial"
+    parallel_backend: ParallelBackendName = "serial"
     n_workers: Optional[int] = None
     n_shards: Optional[int] = None
     shard_checkpoint_dir: Optional[Union[str, Path]] = None

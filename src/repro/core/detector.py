@@ -59,7 +59,7 @@ class BagChangePointDetector:
     True
     """
 
-    def __init__(self, config: Optional[DetectorConfig] = None, **kwargs):
+    def __init__(self, config: Optional[DetectorConfig] = None, **kwargs: object) -> None:
         if config is None:
             config = DetectorConfig(**kwargs)
         elif kwargs:

@@ -56,7 +56,7 @@ class OnlineBagDetector:
     ``t = current_index − τ′ + 1``.
     """
 
-    def __init__(self, config: Optional[DetectorConfig] = None, **kwargs):
+    def __init__(self, config: Optional[DetectorConfig] = None, **kwargs: object) -> None:
         if config is None:
             config = DetectorConfig(**kwargs)
         elif kwargs:

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Tuple
+
 import numpy as np
 
 from ..exceptions import ConfigurationError, ValidationError
@@ -155,7 +157,11 @@ class LogWindowDistances:
         return int(self.test_log.shape[0])
 
 
-def _check_weights(distances: WindowDistances, ref_weights, test_weights):
+def _check_weights(
+    distances: WindowDistances,
+    ref_weights: np.ndarray,
+    test_weights: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
     ref_w = np.asarray(ref_weights, dtype=float).ravel()
     test_w = np.asarray(test_weights, dtype=float).ravel()
     if ref_w.shape[0] != distances.n_reference:

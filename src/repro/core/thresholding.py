@@ -48,7 +48,7 @@ class AdaptiveThreshold:
     (``lag = τ′`` in the paper, so the two test windows share no bag).
     """
 
-    def __init__(self, lag: int):
+    def __init__(self, lag: int) -> None:
         self.lag = check_positive_int(lag, "lag")
         self._intervals: Dict[int, ConfidenceInterval] = {}
 

@@ -51,7 +51,10 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from concurrent.futures import Executor
 
 import numpy as np
 
@@ -62,15 +65,26 @@ from .distance import _can_use_1d_fast_path, emd
 from .ground_distance import GroundDistance, cross_distance_matrix
 from .linprog_backend import solve_emd_linprog
 from .linprog_batch import solve_emd_linprog_batch
+from .registry import (
+    BATCHED_SOLVERS,
+    EMD_SOLVERS,
+    PAIRWISE_SOLVERS,
+    PARALLEL_BACKENDS,
+    EMDSolverName,
+    ParallelBackendName,
+)
 from .sinkhorn_batch import sinkhorn_transport_batch
 from .transportation import solve_unbalanced_transportation
 
-PARALLEL_BACKENDS = ("serial", "thread", "process")
-
-#: Solver backends understood by :class:`PairwiseEMDEngine`: the exact
-#: solvers accepted by :func:`repro.emd.emd`, the block-diagonal batched
-#: exact LP, and the batched entropic approximation.
-EMD_SOLVERS = ("auto", "linprog", "linprog_batch", "simplex", "sinkhorn_batch")
+__all__ = [
+    "EMD_SOLVERS",
+    "PARALLEL_BACKENDS",
+    "BandedDistanceMatrix",
+    "PairwiseEMDEngine",
+    "band_pair_counts",
+    "band_pair_indices",
+    "banded_emd_matrix",
+]
 
 
 def band_pair_counts(n: int, bandwidth: int) -> np.ndarray:
@@ -146,7 +160,7 @@ class BandedDistanceMatrix:
     offset ``k + 1`` from the diagonal.
     """
 
-    def __init__(self, n: int, bandwidth: int):
+    def __init__(self, n: int, bandwidth: int) -> None:
         self._n = check_positive_int(n, "n")
         self._bandwidth = check_positive_int(bandwidth, "bandwidth", minimum=2)
         self._band = np.full((self._n, self._bandwidth - 1), np.nan, dtype=float)
@@ -437,7 +451,7 @@ def _emd_pair(
         plan = solve_emd_linprog(cost_matrix, sig_a.weights, sig_b.weights)
     else:
         raise ConfigurationError(
-            f"backend must be one of ('auto', 'linprog', 'simplex'), got {backend!r}"
+            f"backend must be one of {PAIRWISE_SOLVERS}, got {backend!r}"
         )
     if plan.total_flow <= 0:
         return 0.0
@@ -528,14 +542,14 @@ class PairwiseEMDEngine:
         self,
         *,
         ground_distance: GroundDistance = "euclidean",
-        backend: str = "auto",
-        parallel_backend: str = "serial",
+        backend: EMDSolverName = "auto",
+        parallel_backend: ParallelBackendName = "serial",
         n_workers: Optional[int] = None,
         sinkhorn_epsilon: float = 0.05,
         sinkhorn_max_iter: int = 2000,
         sinkhorn_tol: float = 1e-9,
         sinkhorn_anneal: Optional[Sequence[float]] = None,
-    ):
+    ) -> None:
         if backend not in EMD_SOLVERS:
             raise ConfigurationError(
                 f"backend must be one of {EMD_SOLVERS}, got {backend!r}"
@@ -602,10 +616,10 @@ class PairwiseEMDEngine:
         self._check_open()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - GC timing dependent
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             if self._pool is not None:
                 self._pool.shutdown(wait=False)
@@ -618,7 +632,7 @@ class PairwiseEMDEngine:
                 "this PairwiseEMDEngine has been closed; create a new engine"
             )
 
-    def _acquire_pool(self):
+    def _acquire_pool(self) -> Optional["Executor"]:
         """The persistent executor, created on first use; ``None`` → serial."""
         if self._pool is not None:
             return self._pool
@@ -686,16 +700,14 @@ class PairwiseEMDEngine:
     def _fast_path_eligible(self, sig_a: Signature, sig_b: Signature) -> bool:
         # The closed-form 1-D path is exact, so it also serves both batched
         # backends (no point stacking a solve that has a closed form).
-        return self.backend in (
-            "auto",
-            "sinkhorn_batch",
-            "linprog_batch",
+        return (
+            self.backend == "auto" or self.backend in BATCHED_SOLVERS
         ) and _can_use_1d_fast_path(sig_a, sig_b, self.ground_distance)
 
     def _solve_general(
         self,
         pairs: List[Tuple[Signature, Signature]],
-        backend: Optional[str] = None,
+        backend: Optional[EMDSolverName] = None,
     ) -> List[float]:
         backend = self.backend if backend is None else backend
         pool = None
@@ -765,7 +777,7 @@ class PairwiseEMDEngine:
         if fast:
             out[fast] = _batched_wasserstein_1d([pairs[p] for p in fast])
         if general:
-            if self.backend in ("sinkhorn_batch", "linprog_batch"):
+            if self.backend in BATCHED_SOLVERS:
                 self._solve_batched_backend(pairs, general, out)
             else:
                 out[general] = self._solve_general([pairs[p] for p in general])
@@ -1023,8 +1035,8 @@ def banded_emd_matrix(
     bandwidth: int,
     *,
     ground_distance: GroundDistance = "euclidean",
-    backend: str = "auto",
-    parallel_backend: str = "serial",
+    backend: EMDSolverName = "auto",
+    parallel_backend: ParallelBackendName = "serial",
     n_workers: Optional[int] = None,
 ) -> BandedDistanceMatrix:
     """Convenience wrapper: banded pairwise EMD matrix in one call."""

@@ -26,9 +26,8 @@ from ..signatures import Signature
 from .ground_distance import GroundDistance, cross_distance_matrix
 from .linprog_backend import solve_emd_linprog
 from .one_dimensional import wasserstein_1d
+from .registry import PAIRWISE_SOLVERS, PairwiseSolverName
 from .transportation import TransportPlan, solve_unbalanced_transportation
-
-_BACKENDS = ("auto", "linprog", "simplex")
 
 
 @dataclass(frozen=True)
@@ -81,7 +80,7 @@ def emd_with_flow(
     sig_b: Signature,
     *,
     ground_distance: GroundDistance = "euclidean",
-    backend: str = "auto",
+    backend: PairwiseSolverName = "auto",
 ) -> EMDResult:
     """Compute the Earth Mover's Distance and the optimal flow.
 
@@ -100,8 +99,10 @@ def emd_with_flow(
     EMDResult
     """
     _check_signatures(sig_a, sig_b)
-    if backend not in _BACKENDS:
-        raise ConfigurationError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    if backend not in PAIRWISE_SOLVERS:
+        raise ConfigurationError(
+            f"backend must be one of {PAIRWISE_SOLVERS}, got {backend!r}"
+        )
 
     if backend == "auto" and _can_use_1d_fast_path(sig_a, sig_b, ground_distance):
         distance = wasserstein_1d(
@@ -134,7 +135,7 @@ def emd(
     sig_b: Signature,
     *,
     ground_distance: GroundDistance = "euclidean",
-    backend: str = "auto",
+    backend: PairwiseSolverName = "auto",
 ) -> float:
     """Earth Mover's Distance between two signatures (paper Eq. 12)."""
     return emd_with_flow(

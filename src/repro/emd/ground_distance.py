@@ -20,7 +20,11 @@ from ..exceptions import ConfigurationError
 
 GroundDistance = Union[str, Callable[[np.ndarray, np.ndarray], np.ndarray]]
 
-_NAMED = ("euclidean", "sqeuclidean", "cityblock", "manhattan", "chebyshev")
+#: Built-in ground-distance names accepted wherever a :data:`GroundDistance`
+#: string is expected (``"manhattan"`` is an alias for ``"cityblock"``).
+GROUND_DISTANCES = ("euclidean", "sqeuclidean", "cityblock", "manhattan", "chebyshev")
+
+_NAMED = GROUND_DISTANCES
 
 
 def euclidean_cross_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -56,19 +56,17 @@ from ..exceptions import (
 )
 from ..signatures import Signature
 from .batch import (
-    EMD_SOLVERS,
     BandedDistanceMatrix,
     PairwiseEMDEngine,
     band_pair_counts,
     band_pair_indices,
 )
 from .ground_distance import GroundDistance
+from .registry import EMD_SOLVERS, SHARD_MODES, EMDSolverName, ShardModeName
 
 #: Version stamp written into every shard checkpoint; bump on layout
 #: changes so old files are rejected instead of misread.
 CHECKPOINT_FORMAT_VERSION = 1
-
-SHARD_MODES = ("serial", "process")
 
 
 # ---------------------------------------------------------------------- #
@@ -88,7 +86,7 @@ class EngineSettings:
     """
 
     ground_distance: GroundDistance = "euclidean"
-    backend: str = "auto"
+    backend: EMDSolverName = "auto"
     sinkhorn_epsilon: float = 0.05
     sinkhorn_max_iter: int = 2000
     sinkhorn_tol: float = 1e-9
@@ -195,7 +193,7 @@ class ShardPlan:
     fewer, non-empty shards.
     """
 
-    def __init__(self, n: int, bandwidth: int, row_bounds: Sequence[int]):
+    def __init__(self, n: int, bandwidth: int, row_bounds: Sequence[int]) -> None:
         self._n = check_positive_int(n, "n")
         self._bandwidth = check_positive_int(bandwidth, "bandwidth", minimum=2)
         bounds = [int(b) for b in row_bounds]
@@ -465,7 +463,7 @@ class _SharedSignatureStore:
     shard job pickles nothing but a few integers.
     """
 
-    def __init__(self, signatures: Sequence[Signature]):
+    def __init__(self, signatures: Sequence[Signature]) -> None:
         from multiprocessing import shared_memory
 
         offsets, positions, weights = _pack_signatures(signatures)
@@ -615,10 +613,10 @@ class ShardRunner:
         plan: ShardPlan,
         settings: Optional[EngineSettings] = None,
         *,
-        mode: str = "process",
+        mode: ShardModeName = "process",
         n_workers: Optional[int] = None,
         checkpoint_dir: Optional[Union[str, Path]] = None,
-    ):
+    ) -> None:
         if mode not in SHARD_MODES:
             raise ConfigurationError(f"mode must be one of {SHARD_MODES}, got {mode!r}")
         if n_workers is not None:
@@ -764,7 +762,7 @@ def sharded_banded_matrix(
     n_shards: int,
     *,
     settings: Optional[EngineSettings] = None,
-    mode: str = "process",
+    mode: ShardModeName = "process",
     n_workers: Optional[int] = None,
     checkpoint_dir: Optional[Union[str, Path]] = None,
 ) -> BandedDistanceMatrix:

@@ -141,7 +141,12 @@ def sinkhorn_transport(
 
     plan = np.exp(kernel + f[:, None] / regularisation + g[None, :] / regularisation)
     if not np.all(np.isfinite(plan)):
-        raise SolverError("Sinkhorn iterations diverged; increase epsilon")
+        raise SolverError(
+            f"Sinkhorn iterations diverged on a {cost.shape[0]}x{cost.shape[1]} "
+            f"problem after {iteration} iterations "
+            f"(epsilon={epsilon!r}, regularisation={regularisation!r}); "
+            "increase epsilon"
+        )
     distance = float(np.sum(plan * cost))
     if plan.shape != full_shape:
         full_plan = np.zeros(full_shape, dtype=float)

@@ -173,7 +173,10 @@ def _compute_potentials(
                     u[i] = cost[i, idx] - v[idx]
                     stack.append(("r", i))
     if np.any(np.isnan(u)) or np.any(np.isnan(v)):
-        raise SolverError("basis does not form a spanning tree; potentials undefined")
+        raise SolverError(
+            f"basis of {len(basis)} cells does not form a spanning tree of the "
+            f"{m}x{n} transportation problem; potentials undefined"
+        )
     return u, v
 
 
@@ -195,7 +198,10 @@ def _find_cycle(
     start = ("c", j0)
     goal = ("r", i0)
     if start not in adj or goal not in adj:
-        raise SolverError("entering cell is not connected to the basis tree")
+        raise SolverError(
+            f"entering cell ({i0}, {j0}) is not connected to the basis tree "
+            f"of the {m}x{n} transportation problem"
+        )
 
     # Breadth-first search for the unique tree path from the entering cell's
     # column node back to its row node.
@@ -212,12 +218,17 @@ def _find_cycle(
                 parent[neighbor] = (node, cell)
                 queue.append(neighbor)
     if goal not in parent:
-        raise SolverError("no cycle found; basis is not a spanning tree")
+        raise SolverError(
+            f"no cycle through entering cell ({i0}, {j0}) of the {m}x{n} "
+            "transportation problem; basis is not a spanning tree"
+        )
 
     path_cells: List[Tuple[int, int]] = []
     node = goal
     while parent[node][0] is not None:
         prev, cell = parent[node]
+        # Allow-listed ignores: the loop condition guarantees prev/cell
+        # are non-None here, which mypy cannot derive through the dict.
         path_cells.append(cell)  # type: ignore[arg-type]
         node = prev  # type: ignore[assignment]
     path_cells.reverse()

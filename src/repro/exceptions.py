@@ -8,6 +8,8 @@ solver failures, configuration problems).
 
 from __future__ import annotations
 
+from typing import Iterable, Optional, Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -49,13 +51,19 @@ class SolverError(ReproError, RuntimeError):
         or ``None`` outside shard execution.
     """
 
-    def __init__(self, *args, pair_indices=None, shard_id=None, shard_rows=None):
+    def __init__(
+        self,
+        *args: object,
+        pair_indices: Optional[Iterable[int]] = None,
+        shard_id: Optional[int] = None,
+        shard_rows: Optional[Sequence[int]] = None,
+    ) -> None:
         super().__init__(*args)
-        self.pair_indices = (
+        self.pair_indices: Optional[Tuple[int, ...]] = (
             None if pair_indices is None else tuple(int(i) for i in pair_indices)
         )
-        self.shard_id = None if shard_id is None else int(shard_id)
-        self.shard_rows = (
+        self.shard_id: Optional[int] = None if shard_id is None else int(shard_id)
+        self.shard_rows: Optional[Tuple[int, int]] = (
             None
             if shard_rows is None
             else (int(shard_rows[0]), int(shard_rows[1]))

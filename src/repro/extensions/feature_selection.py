@@ -119,7 +119,7 @@ class SupervisedFeatureWeighter:
         completely suppressed).
     """
 
-    def __init__(self, *, window: int = 5, power: float = 1.0, floor: float = 0.05):
+    def __init__(self, *, window: int = 5, power: float = 1.0, floor: float = 0.05) -> None:
         self.window = check_positive_int(window, "window")
         if power <= 0:
             raise ValidationError("power must be positive")

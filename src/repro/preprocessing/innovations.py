@@ -37,7 +37,7 @@ class InnovationFilter:
         the same scale as the input.
     """
 
-    def __init__(self, order: int = 1, *, ridge: float = 1e-6, keep_global_mean: bool = True):
+    def __init__(self, order: int = 1, *, ridge: float = 1e-6, keep_global_mean: bool = True) -> None:
         self.order = check_positive_int(order, "order")
         if ridge < 0:
             raise ValidationError("ridge must be non-negative")

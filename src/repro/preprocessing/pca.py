@@ -32,7 +32,7 @@ class BagPCA:
         Scale each projected component to unit variance.
     """
 
-    def __init__(self, n_components: int = 2, *, whiten: bool = False):
+    def __init__(self, n_components: int = 2, *, whiten: bool = False) -> None:
         self.n_components = check_positive_int(n_components, "n_components")
         self.whiten = bool(whiten)
         self.mean_: Optional[np.ndarray] = None

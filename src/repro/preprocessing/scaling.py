@@ -32,7 +32,7 @@ class BagStandardScaler:
         for constant dimensions.
     """
 
-    def __init__(self, *, with_mean: bool = True, with_std: bool = True, epsilon: float = 1e-12):
+    def __init__(self, *, with_mean: bool = True, with_std: bool = True, epsilon: float = 1e-12) -> None:
         if epsilon <= 0:
             raise ValidationError("epsilon must be positive")
         self.with_mean = bool(with_mean)
@@ -97,7 +97,7 @@ class BagRobustScaler:
     pipeline (edge weights can span orders of magnitude).
     """
 
-    def __init__(self, *, epsilon: float = 1e-12):
+    def __init__(self, *, epsilon: float = 1e-12) -> None:
         if epsilon <= 0:
             raise ValidationError("epsilon must be positive")
         self.epsilon = float(epsilon)

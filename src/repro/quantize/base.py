@@ -66,7 +66,7 @@ class BaseQuantizer(abc.ABC):
     convenience and returns only the labels.
     """
 
-    def __init__(self, random_state: Union[None, int, np.random.Generator] = None):
+    def __init__(self, random_state: Union[None, int, np.random.Generator] = None) -> None:
         self.random_state = random_state
         self._result: Optional[QuantizationResult] = None
 

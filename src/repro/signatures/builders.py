@@ -12,10 +12,10 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from .._typing import Quantizer, SeedLike
 from .._validation import check_matrix, check_positive_int
 from ..exceptions import ConfigurationError
 from ..quantize import (
-    BaseQuantizer,
     HistogramQuantizer,
     KMeans,
     KMedoids,
@@ -23,7 +23,12 @@ from ..quantize import (
 )
 from .signature import Signature
 
-_METHODS = ("kmeans", "kmedoids", "histogram", "lvq", "exact")
+#: Quantisers available for signature construction (paper Section 3.1);
+#: the canonical listing that :class:`repro.core.config.DetectorConfig`
+#: and the CLI validate against.
+SIGNATURE_METHODS = ("kmeans", "kmedoids", "histogram", "lvq", "exact")
+
+_METHODS = SIGNATURE_METHODS
 
 
 class SignatureBuilder:
@@ -46,8 +51,10 @@ class SignatureBuilder:
     random_state:
         Seed or generator forwarded to stochastic quantisers.
     quantizer:
-        An already-configured :class:`~repro.quantize.BaseQuantizer`; when
-        given, ``method`` and the other parameters are ignored.
+        An already-configured quantiser; anything satisfying the
+        :class:`repro._typing.Quantizer` protocol (e.g. a
+        :class:`~repro.quantize.BaseQuantizer` subclass) is accepted.
+        When given, ``method`` and the other parameters are ignored.
     """
 
     def __init__(
@@ -57,9 +64,9 @@ class SignatureBuilder:
         n_clusters: int = 8,
         bins: Union[int, Sequence[int]] = 10,
         histogram_range: Optional[Sequence] = None,
-        random_state: Union[None, int, np.random.Generator] = None,
-        quantizer: Optional[BaseQuantizer] = None,
-    ):
+        random_state: SeedLike = None,
+        quantizer: Optional[Quantizer] = None,
+    ) -> None:
         if quantizer is None and method not in _METHODS:
             raise ConfigurationError(
                 f"method must be one of {_METHODS}, got {method!r}"
@@ -71,7 +78,7 @@ class SignatureBuilder:
         self.random_state = random_state
         self.quantizer = quantizer
 
-    def _make_quantizer(self) -> Optional[BaseQuantizer]:
+    def _make_quantizer(self) -> Optional[Quantizer]:
         if self.quantizer is not None:
             return self.quantizer
         if self.method == "kmeans":
@@ -113,7 +120,7 @@ def build_signature(
     n_clusters: int = 8,
     bins: Union[int, Sequence[int]] = 10,
     histogram_range: Optional[Sequence] = None,
-    random_state: Union[None, int, np.random.Generator] = None,
+    random_state: SeedLike = None,
     label: Optional[object] = None,
 ) -> Signature:
     """Convenience wrapper: build a single signature from one bag."""

@@ -1,0 +1,7 @@
+"""Self-contained good/bad fixture modules for the reprolint rules.
+
+Each ``rlNNN_good.py`` module must lint clean under the corresponding
+rule; each ``rlNNN_bad.py`` module must trigger it.  The fixtures are
+never imported by the test suite — they are parsed by reprolint only —
+so they deliberately contain code that would misbehave at runtime.
+"""

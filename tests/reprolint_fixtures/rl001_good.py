@@ -1,0 +1,17 @@
+"""Backend names flow through the registry — no re-lists, no typos."""
+
+from repro.emd.registry import EMD_SOLVERS, PAIRWISE_SOLVERS
+
+
+def run(backend: str = "auto") -> str:
+    if backend not in EMD_SOLVERS:
+        raise ValueError(backend)
+    return backend
+
+
+def is_exact(backend: str) -> bool:
+    return backend in PAIRWISE_SOLVERS
+
+
+def add_cli_args(parser):
+    parser.add_argument("--emd-backend", choices=EMD_SOLVERS, default="auto")

@@ -1,0 +1,11 @@
+"""Legacy global-state RNG usage in all its forms."""
+
+import numpy as np
+from numpy.random import rand  # legacy import
+
+np.random.seed(0)  # process-global state
+
+
+def sample():
+    rng = np.random.default_rng()  # seedless generator
+    return np.random.normal(size=3), rng.random(), rand(2)

@@ -1,0 +1,13 @@
+"""Randomness flows through explicitly seeded Generators."""
+
+import numpy as np
+
+
+def sample(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=3)
+
+
+def spawn(rng: np.random.Generator):
+    child = np.random.default_rng(rng.integers(2**32))
+    return child.random()

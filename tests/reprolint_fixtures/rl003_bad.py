@@ -1,0 +1,18 @@
+"""Unpicklable callables submitted to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+double = lambda x: 2 * x  # deliberately bad: pickles by '<lambda>' qualname
+
+
+def run(values):
+    def local(x):
+        return x + 1
+
+    with ProcessPoolExecutor() as pool:
+        a = list(pool.map(lambda x: x * x, values))  # direct lambda
+        b = list(pool.map(double, values))  # name bound to a lambda
+        c = list(pool.map(partial(local, 1), values))  # closure via partial
+        d = pool.submit(local, 2)  # closure
+    return a, b, c, d.result()

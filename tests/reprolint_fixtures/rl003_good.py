@@ -1,0 +1,19 @@
+"""Only module-level (picklable) functions reach the executor."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+def work(x):
+    return x * x
+
+
+def scaled_work(factor, x):
+    return factor * x
+
+
+def run(values):
+    with ProcessPoolExecutor() as pool:
+        squares = list(pool.map(work, values))
+        scaled = list(pool.map(partial(scaled_work, 3), values))
+    return squares, scaled

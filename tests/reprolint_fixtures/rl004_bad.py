@@ -1,0 +1,11 @@
+"""Context-free solver failures that tell the operator nothing."""
+
+from repro.exceptions import CheckpointError, SolverError
+
+
+def fail():
+    raise SolverError("solver failed")  # constant message, no kwargs
+
+
+def fail_resume():
+    raise CheckpointError  # not even a message

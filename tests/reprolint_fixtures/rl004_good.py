@@ -1,0 +1,21 @@
+"""Solver failures carry context: structured kwargs or formatted messages."""
+
+from repro.exceptions import CheckpointError, SolverError
+
+
+def fail_batched(positions, shard):
+    raise SolverError(
+        "batched solve failed",
+        pair_indices=positions,
+        shard_id=shard,
+    )
+
+
+def fail_single(i, j, size):
+    raise SolverError(f"pair ({i}, {j}) of the {size}x{size} problem failed")
+
+
+def fail_resume(path, expected, found):
+    raise CheckpointError(
+        f"checkpoint {path} was written under plan {found}, expected {expected}"
+    )

@@ -1,0 +1,10 @@
+"""A config field the CLI can never set — silent dead configuration."""
+
+
+class DetectorConfig:
+    tau: int = 5
+    weighting: str = "uniform"  # never passed at any call site
+
+
+def main(args):
+    return DetectorConfig(tau=args.tau)

@@ -1,0 +1,17 @@
+"""Every public DetectorConfig field is reachable from the CLI layer."""
+
+
+class DetectorConfig:
+    tau: int = 5
+    tau_test: int = 5
+    bins: int = 10
+    histogram_range: object = None  # allow-listed internal field
+    _cache: object = None  # private, not part of the surface
+
+
+def main(args):
+    return DetectorConfig(
+        tau=args.tau,
+        tau_test=args.tau_test,
+        bins=args.bins,
+    )

@@ -1,0 +1,59 @@
+"""Small AST utilities shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+
+def string_elements(node: ast.AST) -> Optional[List[str]]:
+    """The elements of a literal tuple/list of strings, else ``None``."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    elements: List[str] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            elements.append(element.value)
+        else:
+            return None
+    return elements
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a ``Name`` or dotted ``Attribute`` chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def is_formatted_message(node: ast.AST) -> bool:
+    """Whether an exception-message argument carries runtime context.
+
+    F-strings, ``%``/``str.format`` formatting, string concatenation
+    involving any of those, and dynamic expressions (names, attributes,
+    calls) all count; only a bare string constant does not.
+    """
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.Constant):
+        return False
+    if isinstance(node, ast.BinOp):
+        return is_formatted_message(node.left) or is_formatted_message(node.right)
+    # Names, attributes, calls (including "...".format(...)), subscripts:
+    # the message is built from runtime state.
+    return True

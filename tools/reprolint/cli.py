@@ -1,0 +1,88 @@
+"""Command-line front end: ``python -m tools.reprolint`` / ``reprolint``.
+
+Exit codes: 0 — clean; 1 — violations found; 2 — a file could not be
+parsed (or bad usage).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import Rule, all_rules, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Project-invariant static analysis for the repro solver stack.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (e.g. RL001,RL004); default: all",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the available rules and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line; print violations only",
+    )
+    return parser
+
+
+def _select_rules(parser: argparse.ArgumentParser, spec: Optional[str]) -> List[type]:
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    known = {rule.code for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        parser.error(f"unknown rule codes {sorted(unknown)}; known: {sorted(known)}")
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def _print_rules() -> None:
+    for rule_cls in all_rules():
+        rule: Rule = rule_cls()
+        print(f"{rule.code}  {rule.name:<22} {rule.description}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    report = lint_paths(args.paths, rules=_select_rules(parser, args.select))
+    for failure in report.parse_failures:
+        print(f"{failure.path}: parse error: {failure.message}", file=sys.stderr)
+    for violation in report.violations:
+        print(violation.render())
+    if not args.quiet:
+        summary = (
+            f"reprolint: {report.n_files} file(s) checked, "
+            f"{len(report.violations)} violation(s)"
+        )
+        if report.parse_failures:
+            summary += f", {len(report.parse_failures)} parse failure(s)"
+        print(summary, file=sys.stderr)
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,239 @@
+"""The reprolint rule engine.
+
+A lint run happens in two passes over the parsed modules:
+
+1. **collect** — every rule sees every module and records whatever
+   project-wide facts it needs in the shared :class:`ProjectContext`
+   (where the solver registry is defined, which ``DetectorConfig``
+   fields exist, which keywords the CLI passes, ...).
+2. **check / finalize** — every rule emits :class:`Violation` objects,
+   per module and then once project-wide.
+
+Rules are small classes deriving from :class:`Rule`; the engine owns
+file discovery, parsing, suppression comments and ordering, so a rule
+only looks at ASTs.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+_SUPPRESSION_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    name: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.name}] {self.message}"
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the engine could not parse (reported, exit code 2)."""
+
+    path: str
+    message: str
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus the per-line suppression map."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        active = self.suppressions.get(line)
+        if not active:
+            return False
+        return "all" in active or code in active
+
+
+@dataclass
+class ProjectContext:
+    """Facts collected across the whole file set, shared by all rules.
+
+    Rules may also stash arbitrary private state under ``scratch`` keyed
+    by their code; the typed attributes below are the cross-rule ones.
+    """
+
+    #: Ordered solver-registry members, once a defining assignment is seen.
+    registry_members: Optional[Tuple[str, ...]] = None
+    #: Every literal assignment site of the registry name: (path, line, col).
+    registry_sites: List[Tuple[str, int, int]] = field(default_factory=list)
+    scratch: Dict[str, object] = field(default_factory=dict)
+
+
+class Rule:
+    """Base class for reprolint rules."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def collect(self, module: ModuleInfo, context: ProjectContext) -> None:
+        """First pass: record project-wide facts (optional)."""
+
+    def check(self, module: ModuleInfo, context: ProjectContext) -> Iterator[Violation]:
+        """Second pass: yield per-module violations (optional)."""
+        return iter(())
+
+    def finalize(self, context: ProjectContext) -> Iterator[Violation]:
+        """After all modules: yield project-level violations (optional)."""
+        return iter(())
+
+    def violation(self, module_path: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=module_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            name=self.name,
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of a lint run."""
+
+    violations: List[Violation]
+    parse_failures: List[ParseFailure]
+    n_files: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_failures
+
+    @property
+    def exit_code(self) -> int:
+        if self.parse_failures:
+            return 2
+        return 1 if self.violations else 0
+
+
+def all_rules() -> List[Type[Rule]]:
+    """The built-in rule classes, in code order."""
+    from .rules import RULES
+
+    return list(RULES)
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        spec = match.group(1)
+        codes = {part.strip() for part in spec.split(",") if part.strip()}
+        if codes:
+            suppressions[lineno] = codes
+    return suppressions
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Python files under the given files/directories, sorted, deduplicated."""
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def _load_module(path: Path) -> Tuple[Optional[ModuleInfo], Optional[ParseFailure]]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return None, ParseFailure(path=str(path), message=str(exc))
+    return (
+        ModuleInfo(
+            path=str(path),
+            source=source,
+            tree=tree,
+            suppressions=_parse_suppressions(source),
+        ),
+        None,
+    )
+
+
+def _run(
+    modules: List[ModuleInfo],
+    failures: List[ParseFailure],
+    rule_classes: Optional[Iterable[Type[Rule]]],
+) -> LintReport:
+    rules = [cls() for cls in (rule_classes if rule_classes is not None else all_rules())]
+    context = ProjectContext()
+    for rule in rules:
+        for module in modules:
+            rule.collect(module, context)
+    violations: List[Violation] = []
+    modules_by_path = {module.path: module for module in modules}
+    for rule in rules:
+        for module in modules:
+            violations.extend(rule.check(module, context))
+        violations.extend(rule.finalize(context))
+    kept = [
+        v
+        for v in violations
+        if not (
+            v.path in modules_by_path and modules_by_path[v.path].suppressed(v.line, v.code)
+        )
+    ]
+    return LintReport(
+        violations=sorted(set(kept)),
+        parse_failures=failures,
+        n_files=len(modules),
+    )
+
+
+def lint_paths(
+    paths: Sequence[object],
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> LintReport:
+    """Lint files and directories; the main library entry point."""
+    modules: List[ModuleInfo] = []
+    failures: List[ParseFailure] = []
+    for file_path in discover_files([Path(str(p)) for p in paths]):
+        module, failure = _load_module(file_path)
+        if failure is not None:
+            failures.append(failure)
+        if module is not None:
+            modules.append(module)
+    return _run(modules, failures, rules)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> LintReport:
+    """Lint one in-memory module (used by the fixture tests)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return LintReport(
+            violations=[], parse_failures=[ParseFailure(path=path, message=str(exc))], n_files=0
+        )
+    module = ModuleInfo(
+        path=path, source=source, tree=tree, suppressions=_parse_suppressions(source)
+    )
+    return _run([module], [], rules)

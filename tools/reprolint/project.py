@@ -1,0 +1,85 @@
+"""Project-invariant constants shared by the reprolint rules.
+
+Everything reprolint knows about the repro codebase specifically lives
+here, so the rule implementations stay generic and the fixtures in
+``tests/reprolint_fixtures/`` can exercise them against self-contained
+toy modules.
+"""
+
+from __future__ import annotations
+
+from typing import Final, FrozenSet, Tuple
+
+#: Name of the canonical solver registry tuple.  Exactly one literal
+#: assignment to this name may exist in a linted file set (the project
+#: keeps it in :mod:`repro.emd.registry`); everything else must reference
+#: or derive from it.
+REGISTRY_NAME: Final[str] = "EMD_SOLVERS"
+
+#: Fallback registry members used when the linted file set does not
+#: contain the defining assignment (e.g. linting one file at a time).
+#: Must match ``repro.emd.registry.EMD_SOLVERS``; the self-check test
+#: asserts they stay in sync.
+DEFAULT_REGISTRY: Final[Tuple[str, ...]] = (  # reprolint: disable=RL001
+    "auto",
+    "linprog",
+    "linprog_batch",
+    "simplex",
+    "sinkhorn_batch",
+)
+
+#: Variable / parameter / attribute names treated as holding a solver
+#: backend string.  Comparisons and assignments of string literals against
+#: these names are checked for registry membership.
+BACKEND_NAMES: Final[FrozenSet[str]] = frozenset({"backend", "emd_backend"})
+
+#: ``numpy.random`` attributes that remain allowed under rng-discipline:
+#: the Generator construction surface.  Every other ``np.random.*`` call
+#: is the legacy global-state API.
+MODERN_RNG_ATTRS: Final[FrozenSet[str]] = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Executor / pool methods whose first callable argument ends up in
+#: another thread or process and must therefore be a module-level
+#: function (process pools pickle it; thread-mode code shares the same
+#: call sites, so the invariant is enforced uniformly).
+SUBMIT_METHODS: Final[FrozenSet[str]] = frozenset(
+    {"submit", "map", "imap", "imap_unordered", "apply_async", "starmap"}
+)
+
+#: Exception classes whose raises must carry failure context.
+CONTEXT_EXCEPTIONS: Final[FrozenSet[str]] = frozenset(
+    {"SolverError", "CheckpointError"}
+)
+
+#: Keyword arguments that count as structured failure context.
+CONTEXT_KWARGS: Final[FrozenSet[str]] = frozenset(
+    {"pair_indices", "shard_id", "shard_rows"}
+)
+
+#: The detector configuration dataclass whose fields must be reachable
+#: from the CLI.
+CONFIG_CLASS: Final[str] = "DetectorConfig"
+
+#: ``DetectorConfig`` fields deliberately *not* exposed on the CLI.
+#:
+#: - ``histogram_range``: a per-dimension (min, max) sequence; no flat
+#:   flag syntax represents it faithfully, and library callers who need
+#:   a fixed range construct the config directly.
+#: - ``estimator``: a nested ``EstimatorConfig`` of information-estimator
+#:   constants from the paper; tuning them is a library-level operation,
+#:   not a CLI switch.
+CONFIG_INTERNAL_FIELDS: Final[FrozenSet[str]] = frozenset(
+    {"histogram_range", "estimator"}
+)

@@ -1,0 +1,25 @@
+"""The built-in reprolint rules, one module per project invariant."""
+
+from .config_plumbing import ConfigPlumbingRule
+from .exception_context import ExceptionContextRule
+from .pool_safety import PoolSafetyRule
+from .registry_consistency import RegistryConsistencyRule
+from .rng_discipline import RngDisciplineRule
+
+#: All rules in code order (RL001 …).
+RULES = (
+    RegistryConsistencyRule,
+    RngDisciplineRule,
+    PoolSafetyRule,
+    ExceptionContextRule,
+    ConfigPlumbingRule,
+)
+
+__all__ = [
+    "RULES",
+    "RegistryConsistencyRule",
+    "RngDisciplineRule",
+    "PoolSafetyRule",
+    "ExceptionContextRule",
+    "ConfigPlumbingRule",
+]

@@ -1,0 +1,64 @@
+"""RL004 — solver and checkpoint failures must carry context.
+
+PR 4 gave ``SolverError`` its ``pair_indices`` attribute and PR 5 added
+``shard_id``/``shard_rows``, precisely because a bare "solver failed"
+out of a thousand-pair batched build is undebuggable.  This rule keeps
+new raise sites honest: every ``raise SolverError(...)`` or
+``raise CheckpointError(...)`` must either
+
+* pass one of the structured context keywords (``pair_indices=``,
+  ``shard_id=``, ``shard_rows=``), or
+* carry a *formatted* message (f-string, ``%``/``.format`` or any
+  expression over runtime state) that names the failing problem.
+
+A constant-string message with no context kwargs — ``raise
+SolverError("solve failed")`` — is a violation, as is re-raising the
+bare class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..asthelpers import is_formatted_message, terminal_name
+from ..engine import ModuleInfo, ProjectContext, Rule, Violation
+from ..project import CONTEXT_EXCEPTIONS, CONTEXT_KWARGS
+
+
+class ExceptionContextRule(Rule):
+    code = "RL004"
+    name = "exception-context"
+    description = (
+        "SolverError/CheckpointError raises must pass pair/shard context "
+        "kwargs or a formatted message naming the failing problem"
+    )
+
+    def check(self, module: ModuleInfo, context: ProjectContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            exc_name = terminal_name(exc if not isinstance(exc, ast.Call) else exc.func)
+            if exc_name not in CONTEXT_EXCEPTIONS:
+                continue
+            if not isinstance(exc, ast.Call):
+                yield self.violation(
+                    module.path,
+                    node,
+                    f"bare `raise {exc_name}` carries no context; construct "
+                    "it with a message naming the failing problem",
+                )
+                continue
+            if any(kw.arg in CONTEXT_KWARGS for kw in exc.keywords):
+                continue
+            if any(is_formatted_message(arg) for arg in exc.args):
+                continue
+            detail = "no message at all" if not exc.args else "a constant message"
+            yield self.violation(
+                module.path,
+                node,
+                f"raise {exc_name}(...) with {detail} and no context kwargs; "
+                "pass pair_indices=/shard_id=/shard_rows= or interpolate the "
+                "failing problem (shape, path, indices) into the message",
+            )

@@ -1,0 +1,195 @@
+"""RL001 — the solver registry is the single source of truth.
+
+PR 3 introduced ``EMD_SOLVERS`` so the engine, ``DetectorConfig`` and the
+CLI validate backend names against one tuple.  This rule keeps it that
+way statically:
+
+* exactly one literal assignment to ``EMD_SOLVERS`` may exist;
+* no other name may be assigned a literal tuple/list that re-lists two
+  or more registry members (derive subsets from the registry instead);
+* ``choices=`` keyword arguments (argparse) must reference the registry,
+  never re-list its members;
+* every backend string literal that is compared against, assigned to or
+  passed as a backend-named variable must be a registry member — a typo
+  like ``"linprog-batch"`` becomes a lint error instead of a runtime
+  surprise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..asthelpers import string_elements, terminal_name
+from ..engine import ModuleInfo, ProjectContext, Rule, Violation
+from ..project import BACKEND_NAMES, DEFAULT_REGISTRY, REGISTRY_NAME
+
+
+class RegistryConsistencyRule(Rule):
+    code = "RL001"
+    name = "registry-consistency"
+    description = (
+        f"backend names must come from the single {REGISTRY_NAME} registry; "
+        "no re-listed literals, no unknown backend strings"
+    )
+
+    # ------------------------------------------------------------------ #
+    # Pass 1: find the registry definition(s)
+    # ------------------------------------------------------------------ #
+    def collect(self, module: ModuleInfo, context: ProjectContext) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not (isinstance(target, ast.Name) and target.id == REGISTRY_NAME):
+                continue
+            members = string_elements(value)
+            if members is None:
+                continue
+            context.registry_sites.append((module.path, node.lineno, node.col_offset))
+            if context.registry_members is None:
+                context.registry_members = tuple(members)
+
+    # ------------------------------------------------------------------ #
+    # Pass 2: per-module checks
+    # ------------------------------------------------------------------ #
+    def check(self, module: ModuleInfo, context: ProjectContext) -> Iterator[Violation]:
+        registry = context.registry_members or DEFAULT_REGISTRY
+        member_set = set(registry)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                yield from self._check_relist(module, node, member_set)
+            elif isinstance(node, ast.AnnAssign):
+                yield from self._check_ann_assign(module, node, member_set)
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(module, node, member_set)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, member_set)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node, member_set)
+
+    def _check_relist(
+        self, module: ModuleInfo, node: ast.Assign, members: set
+    ) -> Iterator[Violation]:
+        elements = string_elements(node.value)
+        if elements is None:
+            return
+        overlap = [e for e in elements if e in members]
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if REGISTRY_NAME in targets:
+            return  # definition sites are handled in finalize()
+        if len(overlap) >= 2:
+            yield self.violation(
+                module.path,
+                node,
+                f"literal tuple re-lists solver registry members {overlap}; "
+                f"derive it from {REGISTRY_NAME} instead",
+            )
+
+    def _check_ann_assign(
+        self, module: ModuleInfo, node: ast.AnnAssign, members: set
+    ) -> Iterator[Violation]:
+        if node.value is None or not isinstance(node.target, ast.Name):
+            return
+        if node.target.id == REGISTRY_NAME:
+            return  # definition sites are handled in collect()/finalize()
+        if node.target.id in BACKEND_NAMES:
+            yield from self._check_backend_constant(module, node.value, members)
+        elements = string_elements(node.value)
+        if elements is not None and len([e for e in elements if e in members]) >= 2:
+            yield self.violation(
+                module.path,
+                node,
+                f"literal tuple re-lists solver registry members; "
+                f"derive it from {REGISTRY_NAME} instead",
+            )
+
+    def _check_backend_constant(
+        self, module: ModuleInfo, value: ast.AST, members: set
+    ) -> Iterator[Violation]:
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value not in members
+        ):
+            yield self.violation(
+                module.path,
+                value,
+                f"backend string {value.value!r} is not a member of "
+                f"{REGISTRY_NAME} {tuple(sorted(members))}",
+            )
+
+    def _check_compare(
+        self, module: ModuleInfo, node: ast.Compare, members: set
+    ) -> Iterator[Violation]:
+        sides = [node.left, *node.comparators]
+        if not any(terminal_name(side) in BACKEND_NAMES for side in sides):
+            return
+        for side in sides:
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                yield from self._check_backend_constant(module, side, members)
+            elif isinstance(side, (ast.Tuple, ast.List)):
+                elements = string_elements(side)
+                if elements is None:
+                    continue
+                for element, element_node in zip(elements, side.elts):
+                    if element not in members:
+                        yield from self._check_backend_constant(
+                            module, element_node, members
+                        )
+
+    def _check_call(
+        self, module: ModuleInfo, node: ast.Call, members: set
+    ) -> Iterator[Violation]:
+        for keyword in node.keywords:
+            if keyword.arg in BACKEND_NAMES:
+                yield from self._check_backend_constant(module, keyword.value, members)
+            if keyword.arg == "choices":
+                elements = string_elements(keyword.value)
+                if elements is None:
+                    continue
+                overlap = [e for e in elements if e in members]
+                if len(overlap) >= 2:
+                    yield self.violation(
+                        module.path,
+                        keyword.value,
+                        f"choices= re-lists solver registry members {overlap}; "
+                        f"pass choices={REGISTRY_NAME} (or a subset derived "
+                        "from it) instead",
+                    )
+
+    def _check_defaults(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef,
+        members: set,
+    ) -> Iterator[Violation]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults) :], args.defaults):
+            if arg.arg in BACKEND_NAMES:
+                yield from self._check_backend_constant(module, default, members)
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None and arg.arg in BACKEND_NAMES:
+                yield from self._check_backend_constant(module, kw_default, members)
+
+    # ------------------------------------------------------------------ #
+    # Project-wide: a single definition site
+    # ------------------------------------------------------------------ #
+    def finalize(self, context: ProjectContext) -> Iterator[Violation]:
+        for path, line, col in context.registry_sites[1:]:
+            first = context.registry_sites[0]
+            yield Violation(
+                path=path,
+                line=line,
+                col=col,
+                code=self.code,
+                name=self.name,
+                message=(
+                    f"{REGISTRY_NAME} is redefined here; the single literal "
+                    f"definition lives at {first[0]}:{first[1]}"
+                ),
+            )

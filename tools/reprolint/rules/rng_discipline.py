@@ -1,0 +1,115 @@
+"""RL002 — seeded ``Generator`` discipline, no legacy global RNG.
+
+The 1e-9/1e-12 parity harnesses and every "seeded end-to-end" test rely
+on randomness flowing exclusively through ``numpy.random.Generator``
+objects that are constructed from an explicit seed and passed down.  A
+single ``np.random.seed()``/``np.random.rand()`` call reintroduces
+process-global state that those guarantees cannot see.  This rule flags:
+
+* calls to any legacy ``numpy.random`` module function (everything other
+  than the ``default_rng``/``Generator``/bit-generator construction
+  surface);
+* ``default_rng()`` called without an argument and ``default_rng(None)``
+  — seedless generators are allowed only when the *caller* passed the
+  ``None`` through an explicit seed parameter;
+* ``from numpy.random import rand``-style imports of legacy functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import ModuleInfo, ProjectContext, Rule, Violation
+from ..project import MODERN_RNG_ATTRS
+
+
+class RngDisciplineRule(Rule):
+    code = "RL002"
+    name = "rng-discipline"
+    description = (
+        "randomness must flow through numpy.random.Generator objects with "
+        "explicit seeds; no legacy np.random.* module calls"
+    )
+
+    def check(self, module: ModuleInfo, context: ProjectContext) -> Iterator[Violation]:
+        numpy_aliases: Set[str] = set()
+        random_aliases: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname is not None:
+                            random_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in MODERN_RNG_ATTRS:
+                            yield self.violation(
+                                module.path,
+                                node,
+                                f"import of legacy numpy.random.{alias.name}; "
+                                "use a seeded numpy.random.Generator instead",
+                            )
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            rng_attr = self._random_attribute(node.func, numpy_aliases, random_aliases)
+            if rng_attr is None:
+                continue
+            if rng_attr not in MODERN_RNG_ATTRS:
+                yield self.violation(
+                    module.path,
+                    node,
+                    f"legacy global-state RNG call numpy.random.{rng_attr}(); "
+                    "use a seeded numpy.random.Generator (default_rng(seed)) "
+                    "passed down explicitly",
+                )
+            elif rng_attr == "default_rng" and self._is_seedless(node):
+                yield self.violation(
+                    module.path,
+                    node,
+                    "default_rng() without an explicit seed argument; thread a "
+                    "seed (or caller-supplied Generator) through instead",
+                )
+
+    @staticmethod
+    def _random_attribute(
+        func: ast.AST, numpy_aliases: Set[str], random_aliases: Set[str]
+    ) -> "str | None":
+        """The ``numpy.random`` attribute a call resolves to, if any."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in random_aliases:
+            return func.attr
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in numpy_aliases
+        ):
+            return func.attr
+        return None
+
+    @staticmethod
+    def _is_seedless(node: ast.Call) -> bool:
+        if node.keywords:
+            has_seed_kwarg = any(kw.arg in (None, "seed") for kw in node.keywords)
+        else:
+            has_seed_kwarg = False
+        if not node.args and not has_seed_kwarg:
+            return True
+        if len(node.args) == 1 and not node.keywords:
+            arg = node.args[0]
+            return isinstance(arg, ast.Constant) and arg.value is None
+        return False
