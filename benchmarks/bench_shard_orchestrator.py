@@ -1,0 +1,272 @@
+"""Benchmark: fault-tolerant orchestration overhead and recovery cost.
+
+The orchestrator (:mod:`repro.emd.orchestrator`) wraps the sharded band
+build in a retry/backoff work queue with straggler re-dispatch,
+poison-pair quarantine and checkpoint validation.  All of that machinery
+must be close to free when nothing goes wrong, and recovery from faults
+must terminate with the *same band* the unfaulted build produces — the
+whole point of deterministic fault injection is that this is checkable
+at 1e-12, not just "looks plausible".
+
+Sections:
+
+* **overhead** — the same band built by the plain :class:`ShardRunner`
+  and by the :class:`ShardOrchestrator` (serial mode, no faults); the
+  enforced gate is that orchestration adds at most ``--overhead``
+  relative wall-clock (default 25%), with a 1e-12 parity gate;
+* **recovery** — the orchestrated build re-run under three injected
+  fault classes (worker crash, transient solver error, poison pair in
+  degraded mode), each measured against the unfaulted orchestrated
+  build; every recovered band must match the unfaulted band at 1e-12
+  wherever both are finite, and the poison run must mask exactly the
+  quarantined entry.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_shard_orchestrator.py          # full
+    PYTHONPATH=src python benchmarks/bench_shard_orchestrator.py --quick  # CI smoke
+
+In full mode the script exits non-zero if orchestration overhead exceeds
+``--overhead``.  The parity and masking gates apply in both modes — a
+recovery path that changes solved values is a bug, not a trade-off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.emd import (
+    EngineSettings,
+    PairwiseEMDEngine,
+    RetryPolicy,
+    ShardOrchestrator,
+    ShardPlan,
+    ShardRunner,
+)
+from repro.testing import (
+    inject_poison_pairs,
+    inject_transient_solver_error,
+    inject_worker_crash,
+)
+
+PARITY_TOL = 1e-12
+
+
+def make_signatures(n_bags, side, seed):
+    """Histogram signatures on a shared grid (the paper's bag encoding)."""
+    rng = np.random.default_rng(seed)
+    from repro.signatures import SignatureBuilder
+
+    bags = [rng.normal(0.0, 1.0, size=(40, 2)) for _ in range(n_bags)]
+    builder = SignatureBuilder("histogram", bins=side, histogram_range=(-4.0, 4.0))
+    return builder.build_sequence(bags)
+
+
+def timed(func):
+    start = time.perf_counter()
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def make_orchestrator(plan, policy=None):
+    return ShardOrchestrator(
+        plan, EngineSettings(backend="auto"), policy=policy, mode="serial", n_workers=4
+    )
+
+
+def band_parity(band, reference):
+    """Max |band - reference| over entries finite in both."""
+    both = np.isfinite(band.band) & np.isfinite(reference.band)
+    return float(np.max(np.abs(band.band[both] - reference.band[both])))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bags", type=int, default=80, help="sequence length")
+    parser.add_argument("--bandwidth", type=int, default=10, help="band width tau + tau'")
+    parser.add_argument("--side", type=int, default=5, help="histogram grid side")
+    parser.add_argument("--n-shards", type=int, default=8, help="row-block shard count")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--overhead", type=float, default=0.25,
+        help="maximum allowed relative orchestration overhead in full mode",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small problem for CI smoke runs; reports but does not enforce "
+        "the overhead gate (the 1e-12 parity gates still apply)",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None, metavar="PATH",
+        help="also write the key numbers as machine-readable JSON",
+    )
+    args = parser.parse_args(argv)
+
+    n_bags = 24 if args.quick else args.bags
+    bandwidth = 6 if args.quick else args.bandwidth
+    n_shards = 4 if args.quick else args.n_shards
+
+    signatures = make_signatures(n_bags, args.side, args.seed)
+    plan = ShardPlan.build(n_bags, bandwidth, n_shards)
+    settings = EngineSettings(backend="auto")
+
+    # ------------------------------------------------------------------ #
+    # Overhead section: plain runner vs orchestrator, no faults.
+    # ------------------------------------------------------------------ #
+    serial_time, reference = timed(
+        lambda: PairwiseEMDEngine(backend="auto").banded_matrix(signatures, bandwidth)
+    )
+    runner_time, runner_band = timed(
+        lambda: ShardRunner(plan, settings, mode="serial").run(signatures)
+    )
+    orch_time, orch_band = timed(
+        lambda: make_orchestrator(plan).run(signatures)
+    )
+
+    runner_diff = band_parity(runner_band, reference)
+    orch_diff = band_parity(orch_band, reference)
+    overhead = (orch_time - runner_time) / runner_time if runner_time > 0 else 0.0
+
+    print(
+        f"\noverhead: {plan.n_pairs} band pairs ({n_bags} bags, width "
+        f"{bandwidth}), {plan.n_shards} shards, serial workers"
+    )
+    print(f"{'method':<22}{'seconds':>10}{'vs serial':>12}")
+    for label, elapsed in (
+        ("serial engine", serial_time),
+        ("shard runner", runner_time),
+        ("orchestrator", orch_time),
+    ):
+        vs_serial = serial_time / elapsed if elapsed > 0 else float("inf")
+        print(f"{label:<22}{elapsed:>10.3f}{vs_serial:>11.2f}x")
+    print(f"orchestration overhead vs runner = {overhead * 100:+.1f}%")
+    print(f"max band |runner - serial|       = {runner_diff:.2e}")
+    print(f"max band |orchestrator - serial| = {orch_diff:.2e}")
+
+    # ------------------------------------------------------------------ #
+    # Recovery section: the same build under three injected fault
+    # classes, all driven to completion by the retry/quarantine queue.
+    # ------------------------------------------------------------------ #
+    kill_at = plan.n_pairs // 2
+    rows, cols = plan.pair_indices(1)
+    poison_key = (signatures[rows[0]].label, signatures[cols[0]].label)
+
+    recovery = {}
+
+    orch = make_orchestrator(plan)
+    with inject_worker_crash(at_pair=kill_at, times=1):
+        crash_time, crash_band = timed(lambda: orch.run(signatures))
+    recovery["crash"] = {
+        "seconds": crash_time,
+        "retries": orch.n_retries,
+        "parity": band_parity(crash_band, orch_band),
+        "n_masked": 0,
+    }
+
+    orch = make_orchestrator(plan)
+    with inject_transient_solver_error(times=2):
+        transient_time, transient_band = timed(lambda: orch.run(signatures))
+    recovery["transient"] = {
+        "seconds": transient_time,
+        "retries": orch.n_retries,
+        "parity": band_parity(transient_band, orch_band),
+        "n_masked": 0,
+    }
+
+    orch = make_orchestrator(
+        plan, policy=RetryPolicy(on_poison_pair="degraded", poison_retries=0)
+    )
+    import warnings
+
+    with inject_poison_pairs([poison_key], fail_singleton=True, fail_exact=True):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            poison_time, poison_band = timed(lambda: orch.run(signatures))
+    n_masked = int(
+        np.sum(np.isnan(poison_band.band) & np.isfinite(orch_band.band))
+    )
+    recovery["poison-degraded"] = {
+        "seconds": poison_time,
+        "retries": orch.n_retries,
+        "parity": band_parity(poison_band, orch_band),
+        "n_masked": n_masked,
+    }
+
+    print("\nrecovery: faulted orchestrated builds vs the unfaulted build")
+    print(f"{'fault':<18}{'seconds':>10}{'vs clean':>10}{'retries':>9}{'masked':>8}{'parity':>11}")
+    for label, stats in recovery.items():
+        slowdown = stats["seconds"] / orch_time if orch_time > 0 else float("inf")
+        print(
+            f"{label:<18}{stats['seconds']:>10.3f}{slowdown:>9.2f}x"
+            f"{stats['retries']:>9d}{stats['n_masked']:>8d}{stats['parity']:>11.2e}"
+        )
+
+    max_diff = max(
+        runner_diff, orch_diff, *(stats["parity"] for stats in recovery.values())
+    )
+    parity_ok = max_diff <= PARITY_TOL
+    masking_ok = (
+        recovery["crash"]["n_masked"] == 0
+        and recovery["transient"]["n_masked"] == 0
+        and recovery["poison-degraded"]["n_masked"] == 1
+    )
+    recovered_ok = (
+        recovery["crash"]["retries"] >= 1 and recovery["transient"]["retries"] >= 1
+    )
+    enforce = not args.quick
+    overhead_ok = args.quick or overhead <= args.overhead
+
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        args.json,
+        "shard_orchestrator",
+        {
+            "n_bags": n_bags,
+            "bandwidth": bandwidth,
+            "n_pairs": plan.n_pairs,
+            "n_shards": plan.n_shards,
+            "serial_seconds": serial_time,
+            "runner_seconds": runner_time,
+            "orchestrator_seconds": orch_time,
+            "orchestration_overhead": overhead,
+            "recovery": recovery,
+            "max_parity_diff": max_diff,
+            "overhead_limit": args.overhead,
+            "overhead_enforced": enforce,
+        },
+        passed=parity_ok and masking_ok and recovered_ok and overhead_ok,
+    )
+
+    if not parity_ok:
+        print(f"FAIL: recovered band disagrees by {max_diff:.2e} > {PARITY_TOL:.0e}")
+        return 1
+    if not masking_ok:
+        print(
+            "FAIL: masking mismatch — crash/transient recovery must mask "
+            f"nothing and poison-degraded exactly one entry, got "
+            f"{recovery['crash']['n_masked']}/{recovery['transient']['n_masked']}"
+            f"/{recovery['poison-degraded']['n_masked']}"
+        )
+        return 1
+    if not recovered_ok:
+        print("FAIL: injected faults were not absorbed by the retry queue")
+        return 1
+    if not overhead_ok:
+        print(
+            f"FAIL: orchestration overhead {overhead * 100:+.1f}% exceeds "
+            f"{args.overhead * 100:.0f}%"
+        )
+        return 1
+    print(
+        f"OK: orchestration overhead {overhead * 100:+.1f}%, all three fault "
+        f"classes recovered to {max_diff:.2e} parity"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

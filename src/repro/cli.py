@@ -13,11 +13,13 @@ The detected scores, confidence bounds and alerts are printed as CSV on
 standard output (or written to ``--output``).
 
 A second mode, ``repro-detect shard-build``, runs only the band-build
-stage through the sharded runner (:mod:`repro.emd.sharding`): it
-partitions the EMD band into row-block shards, executes them on a local
-process pool (or resumes from per-shard checkpoints), and writes the
-merged band as an ``.npz`` — the expensive half of a detection run, made
-restartable and distributable.
+stage through the fault-tolerant shard orchestrator
+(:mod:`repro.emd.orchestrator`): it partitions the EMD band into
+row-block shards, executes them on killable worker processes with
+retry/backoff, timeouts, straggler re-dispatch and poison-pair
+quarantine (resuming from validated per-shard checkpoints), and writes
+the merged band as an ``.npz`` — the expensive half of a detection run,
+made restartable and fault-tolerant.
 """
 
 from __future__ import annotations
@@ -34,8 +36,9 @@ from .core import BagChangePointDetector, BagSequence, DetectorConfig
 from .core.config import SCORES, SIGNATURE_METHODS, WEIGHTINGS
 from .emd import EMD_SOLVERS
 from .emd.ground_distance import GROUND_DISTANCES
-from .emd.registry import PARALLEL_BACKENDS, SHARD_MODES
-from .emd.sharding import EngineSettings, ShardPlan, ShardRunner
+from .emd.orchestrator import RetryPolicy, ShardOrchestrator
+from .emd.registry import PARALLEL_BACKENDS, POISON_POLICIES, SHARD_MODES
+from .emd.sharding import EngineSettings, ShardPlan
 from .exceptions import ValidationError
 
 
@@ -121,6 +124,32 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None, help="random seed")
 
 
+def _add_orchestration_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs of the orchestrated band build.
+
+    Shared by the detect run (which orchestrates when sharding is on)
+    and ``shard-build``, so both modes expose identical recovery
+    behaviour.
+    """
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per shard: crashed, timed-out or transiently "
+        "failing shards are re-enqueued with exponential backoff up to "
+        "this many times before the build aborts",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="kill and retry any shard attempt running longer than this "
+        "many seconds (default: no timeout)",
+    )
+    parser.add_argument(
+        "--on-poison-pair", choices=POISON_POLICIES, default="strict",
+        help="what to do with pairs that keep failing the solver after "
+        "bisection and exact-LP rescue: refuse the band (strict) or "
+        "return it with those entries masked as NaN (degraded)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and documentation)."""
     parser = argparse.ArgumentParser(
@@ -155,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for per-shard checkpoints; a killed run resumes "
         "its band build from the last finished shard",
     )
+    _add_orchestration_args(parser)
     parser.add_argument(
         "--lr-inspection-index", type=int, default=0,
         help="test-window position of the inspected bag for --score lr",
@@ -191,6 +221,7 @@ def build_shard_parser() -> argparse.ArgumentParser:
         help="write per-shard checkpoints here and resume from any that "
         "match the current plan and solver configuration",
     )
+    _add_orchestration_args(parser)
     parser.add_argument(
         "--output", type=Path, default=None,
         help="write the merged band here as .npz (band, n, bandwidth, "
@@ -230,25 +261,43 @@ def shard_build_main(argv: Optional[Sequence[str]] = None) -> int:
         sinkhorn_max_iter=args.sinkhorn_max_iter,
         sinkhorn_tol=args.sinkhorn_tol,
         sinkhorn_anneal=args.sinkhorn_anneal,
+        shard_retries=args.retries,
+        shard_timeout=args.shard_timeout,
+        on_poison_pair=args.on_poison_pair,
         random_state=args.seed,
     )
     signatures = BagChangePointDetector(config).build_signatures(bags)
     plan = ShardPlan.build(len(signatures), config.window_span, args.n_shards)
-    runner = ShardRunner(
+    orchestrator = ShardOrchestrator(
         plan,
         EngineSettings.from_config(config),
+        policy=RetryPolicy.from_config(config),
         mode=args.mode,
         n_workers=args.workers,
         checkpoint_dir=args.checkpoint_dir,
     )
-    band = runner.run(signatures)
+    band = orchestrator.run(signatures)
 
     print(
         f"built band: n={band.n} bandwidth={band.bandwidth} "
         f"pairs={plan.n_pairs} shards={plan.n_shards} "
-        f"(computed {runner.n_shards_computed}, resumed {runner.n_shards_resumed})",
+        f"(computed {orchestrator.n_shards_computed}, "
+        f"resumed {orchestrator.n_shards_resumed})",
         file=sys.stderr,
     )
+    if orchestrator.n_retries or orchestrator.n_timeouts or orchestrator.n_checkpoints_requeued:
+        print(
+            f"recovered faults: retries={orchestrator.n_retries} "
+            f"timeouts={orchestrator.n_timeouts} "
+            f"checkpoints_requeued={orchestrator.n_checkpoints_requeued} "
+            f"stragglers_redispatched={orchestrator.n_stragglers_redispatched}",
+            file=sys.stderr,
+        )
+    if orchestrator.quarantine is not None and len(orchestrator.quarantine):
+        print(
+            f"quarantined pairs: {sorted(orchestrator.quarantine.pair_set())}",
+            file=sys.stderr,
+        )
     if args.output is not None:
         np.savez(
             args.output,
@@ -256,7 +305,7 @@ def shard_build_main(argv: Optional[Sequence[str]] = None) -> int:
             n=np.array(band.n),
             bandwidth=np.array(band.bandwidth),
             plan_hash=np.array(plan.plan_hash()),
-            fingerprint=np.array(runner.settings.fingerprint()),
+            fingerprint=np.array(orchestrator.settings.fingerprint()),
         )
         print(f"band written to {args.output}", file=sys.stderr)
     return 0
@@ -292,6 +341,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_workers=args.workers,
         n_shards=args.n_shards,
         shard_checkpoint_dir=args.shard_checkpoint_dir,
+        shard_retries=args.retries,
+        shard_timeout=args.shard_timeout,
+        on_poison_pair=args.on_poison_pair,
         lr_inspection_index=args.lr_inspection_index,
         weighting=args.weighting,
         n_bootstrap=args.bootstrap,

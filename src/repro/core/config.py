@@ -10,7 +10,12 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..emd.batch import EMD_SOLVERS, PARALLEL_BACKENDS, _check_anneal
-from ..emd.registry import EMDSolverName, ParallelBackendName
+from ..emd.registry import (
+    POISON_POLICIES,
+    EMDSolverName,
+    ParallelBackendName,
+    PoisonPolicyName,
+)
 from ..exceptions import ConfigurationError, ValidationError
 from ..information import EstimatorConfig
 from ..signatures.builders import SIGNATURE_METHODS
@@ -103,6 +108,22 @@ class DetectorConfig:
         the build as a single checkpointed shard); checkpoints from a
         different plan or solver configuration are rejected, never
         merged.
+    shard_retries:
+        Retry budget per shard of the fault-tolerant band build: a
+        shard whose worker crashes, times out or fails transiently is
+        re-enqueued (with exponential backoff) up to this many times
+        before the build aborts.
+    shard_timeout:
+        Per-shard wall-clock budget in seconds for the band build;
+        a shard attempt still running past it is killed and retried.
+        ``None`` (default) disables the timeout.
+    on_poison_pair:
+        What the band build does with pairs that keep failing the
+        solver after bisection and per-pair exact-LP rescue:
+        ``"strict"`` (default) raises
+        :class:`~repro.exceptions.PoisonPairError` with the quarantine
+        manifest attached; ``"degraded"`` warns and returns the band
+        with exactly those entries masked as NaN.
     lr_inspection_index:
         Position (0-based) within the test window of the bag ``S_t`` that
         the ``"lr"`` score compares against both windows (Eq. 16).  The
@@ -138,6 +159,9 @@ class DetectorConfig:
     n_workers: Optional[int] = None
     n_shards: Optional[int] = None
     shard_checkpoint_dir: Optional[Union[str, Path]] = None
+    shard_retries: int = 2
+    shard_timeout: Optional[float] = None
+    on_poison_pair: PoisonPolicyName = "strict"
     lr_inspection_index: int = 0
     weighting: str = "uniform"
     n_bootstrap: int = 200
@@ -182,6 +206,20 @@ class DetectorConfig:
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be a positive integer or None")
+        if self.shard_retries < 0:
+            raise ConfigurationError(
+                f"shard_retries must be a non-negative integer, got {self.shard_retries}"
+            )
+        if self.shard_timeout is not None and not (
+            np.isfinite(self.shard_timeout) and self.shard_timeout > 0
+        ):
+            raise ConfigurationError(
+                f"shard_timeout must be a positive number or None, got {self.shard_timeout}"
+            )
+        if self.on_poison_pair not in POISON_POLICIES:
+            raise ConfigurationError(
+                f"on_poison_pair must be one of {POISON_POLICIES}, got {self.on_poison_pair!r}"
+            )
         if not 0 <= self.lr_inspection_index < self.tau_test:
             raise ConfigurationError(
                 f"lr_inspection_index must lie in [0, tau_test={self.tau_test}), "

@@ -24,7 +24,8 @@ import numpy as np
 
 from .._validation import as_rng
 from ..emd import BandedDistanceMatrix, PairwiseEMDEngine
-from ..emd.sharding import EngineSettings, ShardPlan, ShardRunner
+from ..emd.orchestrator import RetryPolicy, ShardOrchestrator
+from ..emd.sharding import EngineSettings, ShardPlan
 from ..exceptions import ValidationError
 from ..signatures import Signature, SignatureBuilder
 from .bag import BagSequence
@@ -125,10 +126,13 @@ class BagChangePointDetector:
         only when ``|i − j| < τ + τ′``; only those entries are computed
         (in batches, through :class:`~repro.emd.PairwiseEMDEngine`) and
         stored.  With ``config.n_shards`` set, the band is built through
-        the sharded runner instead — row-block shards executed
-        process-parallel when ``parallel_backend="process"`` (signatures
-        in shared memory, one placement per worker) and sequentially
-        otherwise, checkpointed per shard when
+        the fault-tolerant :class:`~repro.emd.orchestrator.ShardOrchestrator`
+        instead — row-block shards executed process-parallel when
+        ``parallel_backend="process"`` (signatures in shared memory, one
+        placement per worker) and sequentially otherwise, with per-shard
+        retry/backoff (``config.shard_retries``), optional timeouts
+        (``config.shard_timeout``), poison-pair quarantine
+        (``config.on_poison_pair``), checkpointing per shard when
         ``config.shard_checkpoint_dir`` is set, then merged into the
         identical banded matrix.
         """
@@ -137,14 +141,15 @@ class BagChangePointDetector:
             # A checkpoint dir alone still means "make the build
             # resumable": run it as a single checkpointed shard.
             plan = ShardPlan.build(len(signatures), cfg.window_span, cfg.n_shards or 1)
-            runner = ShardRunner(
+            orchestrator = ShardOrchestrator(
                 plan,
                 EngineSettings.from_config(cfg),
+                policy=RetryPolicy.from_config(cfg),
                 mode="process" if cfg.parallel_backend == "process" else "serial",
                 n_workers=cfg.n_workers,
                 checkpoint_dir=cfg.shard_checkpoint_dir,
             )
-            return runner.run(signatures)
+            return orchestrator.run(signatures)
         return self._engine.banded_matrix(signatures, self.config.window_span)
 
     # ------------------------------------------------------------------ #

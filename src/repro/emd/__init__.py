@@ -23,6 +23,19 @@ from .linprog_batch import LinprogBatchResult, solve_emd_linprog_batch
 from .matrices import EMDCache, cross_emd_matrix, emd_matrix
 from .numerics import logsumexp
 from .one_dimensional import emd_1d_histograms, wasserstein_1d
+from .orchestrator import (
+    QUARANTINE_FILENAME,
+    InlineWorkerBackend,
+    ProcessWorkerBackend,
+    QuarantinedPair,
+    QuarantineManifest,
+    RetryPolicy,
+    ShardOrchestrator,
+    WorkerCrash,
+    WorkerHang,
+    compute_backoff,
+    orchestrated_banded_matrix,
+)
 from .sharding import (
     EngineSettings,
     ShardPlan,
@@ -56,6 +69,17 @@ __all__ = [
     "merge_shards",
     "save_shard_checkpoint",
     "sharded_banded_matrix",
+    "QUARANTINE_FILENAME",
+    "InlineWorkerBackend",
+    "ProcessWorkerBackend",
+    "QuarantinedPair",
+    "QuarantineManifest",
+    "RetryPolicy",
+    "ShardOrchestrator",
+    "WorkerCrash",
+    "WorkerHang",
+    "compute_backoff",
+    "orchestrated_banded_matrix",
     "EMDResult",
     "emd",
     "emd_with_flow",

@@ -35,6 +35,11 @@ ParallelBackendName = Literal["serial", "thread", "process"]
 #: How :class:`repro.emd.sharding.ShardRunner` executes pending shards.
 ShardModeName = Literal["serial", "process"]
 
+#: How the orchestrated band build treats pairs that exhausted their
+#: poison-pair rescue budget: refuse the degraded band or warn and
+#: return it with the quarantined entries masked.
+PoisonPolicyName = Literal["strict", "degraded"]
+
 #: Solver backends understood by :class:`PairwiseEMDEngine`: the exact
 #: per-pair solvers, the block-diagonal batched exact LP and the batched
 #: entropic approximation.  The canonical registry — compare and list
@@ -58,3 +63,6 @@ PARALLEL_BACKENDS: Final[Tuple[ParallelBackendName, ...]] = get_args(ParallelBac
 
 #: Execution modes of the sharded band builder.
 SHARD_MODES: Final[Tuple[ShardModeName, ...]] = get_args(ShardModeName)
+
+#: Quarantine policies of the fault-tolerant shard orchestrator.
+POISON_POLICIES: Final[Tuple[PoisonPolicyName, ...]] = get_args(PoisonPolicyName)

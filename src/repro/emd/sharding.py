@@ -65,8 +65,17 @@ from .ground_distance import GroundDistance
 from .registry import EMD_SOLVERS, SHARD_MODES, EMDSolverName, ShardModeName
 
 #: Version stamp written into every shard checkpoint; bump on layout
-#: changes so old files are rejected instead of misread.
-CHECKPOINT_FORMAT_VERSION = 1
+#: changes so old files are rejected instead of misread.  v2 added the
+#: payload ``checksum`` entry (sha256 over the value bytes) so silent
+#: on-disk corruption — truncation survives the zip CRC only in theory,
+#: bit flips inside a stored-uncompressed member do not — is detected
+#: before a corrupt shard can reach :func:`merge_shards`.
+CHECKPOINT_FORMAT_VERSION = 2
+
+
+def _values_checksum(values: np.ndarray) -> str:
+    """sha256 over the exact float64 payload bytes of one shard."""
+    return hashlib.sha256(np.ascontiguousarray(values, dtype=float).tobytes()).hexdigest()
 
 
 # ---------------------------------------------------------------------- #
@@ -343,6 +352,7 @@ def save_shard_checkpoint(
                 shard_id=np.array(spec.shard_id),
                 row_start=np.array(spec.row_start),
                 row_stop=np.array(spec.row_stop),
+                checksum=np.array(_values_checksum(values)),
                 values=values,
             )
         os.replace(tmp_name, path)
@@ -379,6 +389,7 @@ def load_shard_checkpoint(
             version = int(archive["format_version"])
             plan_hash = str(archive["plan_hash"])
             stamp = str(archive["fingerprint"])
+            checksum = str(archive["checksum"])
             values = np.asarray(archive["values"], dtype=float)
     except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
         raise CheckpointError(f"checkpoint {path} is unreadable: {exc}") from exc
@@ -389,22 +400,29 @@ def load_shard_checkpoint(
         )
     if plan_hash != plan.plan_hash():
         raise CheckpointError(
-            f"checkpoint {path} was written for a different shard plan "
-            f"(hash {plan_hash[:12]}…, current {plan.plan_hash()[:12]}…); "
+            f"checkpoint {path} was written for a different shard plan: "
+            f"expected plan hash {plan.plan_hash()}, found {plan_hash}; "
             "clear the checkpoint directory or rebuild with the original "
             "n/bandwidth/n_shards"
         )
     if stamp != fingerprint:
         raise CheckpointError(
             f"checkpoint {path} was computed under a different engine "
-            f"configuration (fingerprint {stamp[:12]}…, current "
-            f"{fingerprint[:12]}…); clear the checkpoint directory or restore "
-            "the original solver settings"
+            f"configuration: expected fingerprint {fingerprint}, found "
+            f"{stamp}; clear the checkpoint directory or restore the "
+            "original solver settings"
         )
     if values.shape != (spec.n_pairs,):
         raise CheckpointError(
             f"checkpoint {path} holds {values.shape} values, "
             f"shard {shard_id} owns {spec.n_pairs} pairs"
+        )
+    found_checksum = _values_checksum(values)
+    if checksum != found_checksum:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt: expected payload checksum "
+            f"{checksum}, found {found_checksum}; delete the file and "
+            "recompute the shard"
         )
     return values
 
@@ -461,6 +479,14 @@ class _SharedSignatureStore:
     The three flat arrays are copied into ``multiprocessing.shared_memory``
     blocks exactly once; workers attach by name at pool start-up, so a
     shard job pickles nothing but a few integers.
+
+    Shared-memory segments outlive the process that created them (they
+    are files under ``/dev/shm``), so every exit path — including a
+    partial construction failure and a worker dying mid-shard — must
+    unlink them explicitly or the host slowly fills with orphaned
+    segments.  Construction therefore cleans up the blocks it already
+    created when a later allocation fails, and :meth:`close` is
+    idempotent so callers can keep it in a ``finally``.
     """
 
     def __init__(self, signatures: Sequence[Signature]) -> None:
@@ -469,16 +495,22 @@ class _SharedSignatureStore:
         offsets, positions, weights = _pack_signatures(signatures)
         self._blocks = []
         self.meta: Dict[str, Tuple[str, tuple, str]] = {}
-        for name, array in (
-            ("offsets", offsets),
-            ("positions", positions),
-            ("weights", weights),
-        ):
-            block = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
-            view[...] = array
-            self._blocks.append(block)
-            self.meta[name] = (block.name, array.shape, array.dtype.str)
+        try:
+            for name, array in (
+                ("offsets", offsets),
+                ("positions", positions),
+                ("weights", weights),
+            ):
+                block = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+                self._blocks.append(block)
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+                view[...] = array
+                self.meta[name] = (block.name, array.shape, array.dtype.str)
+        except BaseException:
+            # A partial construction (e.g. /dev/shm exhausted on the
+            # third block) must not leak the blocks already created.
+            self.close()
+            raise
 
     def close(self) -> None:
         for block in self._blocks:
@@ -501,10 +533,20 @@ def _shard_worker_init(meta: dict, settings: EngineSettings, n: int, bandwidth: 
 
     arrays = {}
     blocks = []
-    for name, (shm_name, shape, dtype) in meta.items():
-        block = shared_memory.SharedMemory(name=shm_name)
-        blocks.append(block)
-        arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+    try:
+        for name, (shm_name, shape, dtype) in meta.items():
+            block = shared_memory.SharedMemory(name=shm_name)
+            blocks.append(block)
+            arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+    except BaseException:
+        # Detach any blocks this worker already mapped; the parent-side
+        # store still owns the segments and will unlink them.
+        for block in blocks:
+            try:
+                block.close()
+            except OSError:  # pragma: no cover - already detached
+                pass
+        raise
     _worker_state.clear()
     _worker_state.update(
         arrays=arrays,

@@ -8,7 +8,10 @@ solver failures, configuration problems).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .emd.orchestrator import QuarantineManifest
 
 
 class ReproError(Exception):
@@ -68,6 +71,54 @@ class SolverError(ReproError, RuntimeError):
             if shard_rows is None
             else (int(shard_rows[0]), int(shard_rows[1]))
         )
+
+
+class PoisonPairError(SolverError):
+    """Raised by a *strict* orchestrated band build that quarantined pairs.
+
+    The band was fully built — every healthy pair solved, every poison
+    pair isolated by bisection and re-tried — but some pairs exhausted
+    their rescue budget and were masked as NaN.  Under the
+    ``on_poison_pair="strict"`` policy that result must not be consumed
+    silently, so the orchestrator raises this error with the full
+    quarantine manifest attached instead of returning the degraded band.
+
+    Attributes
+    ----------
+    manifest:
+        The :class:`~repro.emd.orchestrator.QuarantineManifest` listing
+        every quarantined ``(i, j)`` pair, its shard and the terminal
+        solver failure; also persisted as ``quarantine.json`` in the
+        checkpoint directory when one is configured.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        manifest: Optional["QuarantineManifest"] = None,
+        pair_indices: Optional[Iterable[int]] = None,
+        shard_id: Optional[int] = None,
+        shard_rows: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(
+            *args,
+            pair_indices=pair_indices,
+            shard_id=shard_id,
+            shard_rows=shard_rows,
+        )
+        self.manifest = manifest
+
+
+class OrchestratorError(ReproError, RuntimeError):
+    """Raised when the fault-tolerant shard orchestrator gives up.
+
+    The orchestrator retries crashed and timed-out shard attempts with
+    exponential backoff; this error means a shard kept failing past its
+    retry budget (or a worker backend broke in a way no retry can fix),
+    so the band build cannot terminate.  Transient faults within the
+    budget never surface as this error — they are retried silently and
+    counted on the orchestrator's ``n_retries``.
+    """
 
 
 class CheckpointError(ReproError, RuntimeError):

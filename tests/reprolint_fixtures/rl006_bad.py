@@ -1,0 +1,31 @@
+"""Retry-discipline breakage: ad-hoc sleeps and swallowed solver errors."""
+
+import time
+
+from repro.exceptions import SolverError
+
+
+def hand_rolled_retry(engine, pairs):
+    for attempt in range(5):
+        try:
+            return engine.compute_pairs(pairs)
+        except RuntimeError:
+            time.sleep(0.1 * attempt)  # ad-hoc pacing: no cap, no jitter
+    raise RuntimeError(f"gave up after 5 attempts on {len(pairs)} pairs")
+
+
+def swallow_by_name(engine, pairs):
+    try:
+        return engine.compute_pairs(pairs)
+    except SolverError:
+        return None  # the failure (and pair_indices) vanish
+
+
+def swallow_broadly(engine, batches):
+    results = []
+    for batch in batches:
+        try:
+            results.append(engine.compute_pairs(batch))
+        except Exception:
+            continue  # a SolverError dies here unseen
+    return results

@@ -1,0 +1,49 @@
+"""Retry discipline done right: shared backoff, solver errors disposed of."""
+
+import time
+
+from repro.emd.orchestrator import compute_backoff
+from repro.exceptions import SolverError
+
+
+def disciplined_retry(engine, pairs, rng):
+    for attempt in range(5):
+        try:
+            return engine.compute_pairs(pairs)
+        except RuntimeError:
+            time.sleep(compute_backoff(attempt, rng=rng))
+    raise RuntimeError(f"gave up after 5 attempts on {len(pairs)} pairs")
+
+
+def reraise_with_context(engine, pairs, shard):
+    try:
+        return engine.compute_pairs(pairs)
+    except SolverError as exc:
+        raise SolverError(
+            f"shard {shard} failed on {len(pairs)} pairs",
+            pair_indices=exc.pair_indices,
+            shard_id=shard,
+        ) from exc
+
+
+def route_to_quarantine(engine, pairs, quarantine_pair):
+    try:
+        return engine.compute_pairs(pairs)
+    except SolverError:
+        return quarantine_pair(pairs)
+
+
+def record_last_error(engine, pairs):
+    last_error = None
+    try:
+        return engine.compute_pairs(pairs)
+    except SolverError as exc:
+        last_error = exc  # inspected: the caller sees what happened
+    return last_error
+
+
+def unrelated_handler(path):
+    try:
+        return open(path).read()  # no solver call guarded here
+    except Exception:
+        return None

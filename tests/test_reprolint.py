@@ -22,11 +22,13 @@ from repro.emd.registry import (
     EMD_SOLVERS,
     PAIRWISE_SOLVERS,
     PARALLEL_BACKENDS,
+    POISON_POLICIES,
     SHARD_MODES,
     BatchedSolverName,
     EMDSolverName,
     PairwiseSolverName,
     ParallelBackendName,
+    PoisonPolicyName,
     ShardModeName,
 )
 from tools.reprolint import all_rules, lint_paths, lint_source
@@ -36,7 +38,7 @@ from tools.reprolint.project import CONFIG_INTERNAL_FIELDS, DEFAULT_REGISTRY
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "reprolint_fixtures"
 
-RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005")
+RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
 
 
 def lint_fixture(name: str):
@@ -101,6 +103,15 @@ def test_rl005_reports_the_unreachable_field():
     report = lint_fixture("rl005_bad.py")
     assert len(report.violations) == 1
     assert "weighting" in report.violations[0].message
+
+
+def test_rl006_catches_each_breakage_mode():
+    report = lint_fixture("rl006_bad.py")
+    messages = " | ".join(v.message for v in report.violations)
+    assert len(report.violations) == 3
+    assert "hand-rolled retry pacing" in messages  # ad-hoc time.sleep loop
+    assert "(SolverError)" in messages  # swallowed by name
+    assert "(Exception)" in messages  # swallowed behind a broad handler
 
 
 def test_rl005_internal_allowlist_is_documented():
@@ -174,6 +185,7 @@ def test_registry_matches_literal_types():
     assert set(BATCHED_SOLVERS) == set(get_args(BatchedSolverName))
     assert set(PARALLEL_BACKENDS) == set(get_args(ParallelBackendName))
     assert set(SHARD_MODES) == set(get_args(ShardModeName))
+    assert set(POISON_POLICIES) == set(get_args(PoisonPolicyName))
 
 
 def test_solver_subsets_partition_the_registry():

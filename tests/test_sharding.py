@@ -462,3 +462,192 @@ class TestDetectorIntegration:
         second = BagChangePointDetector(config).detect(step_change_bags)
         for a, b in zip(first.points, second.points):
             assert a.score == b.score
+
+
+# ---------------------------------------------------------------------- #
+# Crash-resume property (PR 7): a build killed at a random seeded point
+# and resumed must merge to the identical band, for every backend.
+# ---------------------------------------------------------------------- #
+@pytest.mark.faults
+class TestCrashResumeProperty:
+    @pytest.mark.parametrize("backend", ["auto", "linprog_batch", "sinkhorn_batch"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_killed_build_resumes_to_parity(self, tmp_path, backend, seed):
+        from repro.emd.orchestrator import WorkerCrash
+        from repro.testing import inject_worker_crash
+
+        signatures = histogram_signatures(20, seed=13)
+        bandwidth = 6
+        plan = ShardPlan.build(len(signatures), bandwidth, 4)
+        reference = PairwiseEMDEngine(backend=backend).banded_matrix(
+            signatures, bandwidth
+        )
+        # Kill the build at a seeded-random pair; partially finished
+        # shards leave their checkpoints behind.
+        kill_at = int(np.random.default_rng(seed).integers(plan.n_pairs))
+        runner = ShardRunner(
+            plan,
+            EngineSettings(backend=backend),
+            mode="serial",
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        with inject_worker_crash(at_pair=kill_at, times=1):
+            with pytest.raises(WorkerCrash):
+                runner.run(signatures)
+        n_saved = len(list((tmp_path / "ckpt").glob("shard_*.npz")))
+        assert n_saved < plan.n_shards
+        # The resumed build picks up the survivors and matches exactly.
+        resumed = ShardRunner(
+            plan,
+            EngineSettings(backend=backend),
+            mode="serial",
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        merged = resumed.run(signatures)
+        assert resumed.n_shards_resumed == n_saved
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_orchestrator_retries_instead_of_dying(self, tmp_path, seed):
+        # Same fault, orchestrated build: no manual resume needed — the
+        # crash is absorbed by the retry queue within one run.
+        from repro.emd.orchestrator import ShardOrchestrator
+        from repro.testing import FakeClock, inject_worker_crash
+
+        signatures = histogram_signatures(20, seed=13)
+        plan = ShardPlan.build(len(signatures), 6, 4)
+        reference = PairwiseEMDEngine().banded_matrix(signatures, 6)
+        kill_at = int(np.random.default_rng(seed).integers(plan.n_pairs))
+        clock = FakeClock()
+        orchestrator = ShardOrchestrator(
+            plan,
+            EngineSettings(),
+            mode="serial",
+            n_workers=4,
+            checkpoint_dir=tmp_path / "ckpt",
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        with inject_worker_crash(at_pair=kill_at, times=1):
+            merged = orchestrator.run(signatures)
+        assert orchestrator.n_retries == 1
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory hygiene (PR 7 bugfix): no segment may outlive the run,
+# not even when construction fails halfway or a worker dies mid-shard.
+# ---------------------------------------------------------------------- #
+@pytest.mark.faults
+class TestSharedMemoryCleanup:
+    @staticmethod
+    def shm_segments():
+        import os
+
+        try:
+            return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+        except FileNotFoundError:  # non-Linux: nothing observable
+            return set()
+
+    def test_partial_store_construction_leaks_nothing(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.emd.sharding import _SharedSignatureStore
+
+        before = self.shm_segments()
+        real = shared_memory.SharedMemory
+        calls = {"n": 0}
+
+        def failing(*args, **kwargs):
+            if kwargs.get("create") or (args and args[0] is None):
+                calls["n"] += 1
+                if calls["n"] == 3:
+                    raise OSError("synthetic /dev/shm exhaustion on block 3")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", failing)
+        with pytest.raises(OSError, match="block 3"):
+            _SharedSignatureStore(histogram_signatures(8))
+        monkeypatch.undo()
+        assert self.shm_segments() == before
+
+    def test_worker_death_mid_shard_leaks_nothing(self, tmp_path):
+        from repro.testing import inject_worker_crash
+
+        signatures = histogram_signatures(16, seed=7)
+        plan = ShardPlan.build(len(signatures), 5, 3)
+        reference = PairwiseEMDEngine().banded_matrix(signatures, 5)
+        before = self.shm_segments()
+        # A worker process hard-exits mid-shard; the broken pool makes
+        # the runner fall back to serial execution, and the parent-side
+        # store must still unlink every segment on the way out.
+        with inject_worker_crash(
+            at_pair=0, hard=True, sentinel=tmp_path / "die"
+        ):
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                merged = ShardRunner(plan, mode="process", n_workers=2).run(signatures)
+        assert self.shm_segments() == before
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+    def test_orchestrator_worker_death_leaks_nothing(self, tmp_path):
+        from repro.emd.orchestrator import ShardOrchestrator
+        from repro.testing import inject_worker_crash
+
+        signatures = histogram_signatures(16, seed=7)
+        plan = ShardPlan.build(len(signatures), 5, 3)
+        reference = PairwiseEMDEngine().banded_matrix(signatures, 5)
+        before = self.shm_segments()
+        orchestrator = ShardOrchestrator(
+            plan, EngineSettings(), mode="process", n_workers=2
+        )
+        with inject_worker_crash(at_pair=0, hard=True, sentinel=tmp_path / "die"):
+            merged = orchestrator.run(signatures)
+        assert orchestrator.n_retries >= 1
+        assert self.shm_segments() == before
+        assert np.nanmax(np.abs(merged.band - reference.band)) <= MERGE_TOL
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint diagnostics (PR 7 bugfix): stale/corrupt rejections name
+# the expected AND the found value, so the operator can tell a renamed
+# directory from a genuinely different configuration.
+# ---------------------------------------------------------------------- #
+class TestCheckpointDiagnostics:
+    def write_one(self, tmp_path, plan, fingerprint="fp"):
+        values = np.linspace(0.0, 1.0, plan.shard(0).n_pairs)
+        save_shard_checkpoint(tmp_path, plan, 0, values, fingerprint)
+        return values
+
+    def test_plan_mismatch_reports_both_hashes(self, tmp_path):
+        plan = ShardPlan.build(20, 6, 4)
+        other = ShardPlan.build(20, 6, 5)
+        self.write_one(tmp_path, plan)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_shard_checkpoint(tmp_path, other, 0, "fp")
+        message = str(excinfo.value)
+        assert f"expected plan hash {other.plan_hash()}" in message
+        assert f"found {plan.plan_hash()}" in message
+
+    def test_fingerprint_mismatch_reports_both(self, tmp_path):
+        plan = ShardPlan.build(20, 6, 4)
+        self.write_one(tmp_path, plan, fingerprint="written-under-this")
+        with pytest.raises(CheckpointError) as excinfo:
+            load_shard_checkpoint(tmp_path, plan, 0, "expected-this")
+        message = str(excinfo.value)
+        assert "expected fingerprint expected-this" in message
+        assert "found written-under-this" in message
+
+    def test_tampered_payload_reports_both_checksums(self, tmp_path):
+        from repro.emd.sharding import _values_checksum, checkpoint_path
+        from repro.testing import tamper_checkpoint_values
+
+        plan = ShardPlan.build(20, 6, 4)
+        values = self.write_one(tmp_path, plan)
+        tamper_checkpoint_values(checkpoint_path(tmp_path, 0), delta=0.25)
+        with pytest.raises(CheckpointError) as excinfo:
+            load_shard_checkpoint(tmp_path, plan, 0, "fp")
+        message = str(excinfo.value)
+        assert f"expected payload checksum {_values_checksum(values)}" in message
+        tampered = values.copy()
+        tampered[0] += 0.25
+        assert f"found {_values_checksum(tampered)}" in message

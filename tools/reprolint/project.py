@@ -60,12 +60,38 @@ SUBMIT_METHODS: Final[FrozenSet[str]] = frozenset(
 
 #: Exception classes whose raises must carry failure context.
 CONTEXT_EXCEPTIONS: Final[FrozenSet[str]] = frozenset(
-    {"SolverError", "CheckpointError"}
+    {"SolverError", "CheckpointError", "PoisonPairError"}
 )
 
 #: Keyword arguments that count as structured failure context.
 CONTEXT_KWARGS: Final[FrozenSet[str]] = frozenset(
-    {"pair_indices", "shard_id", "shard_rows"}
+    {"pair_indices", "shard_id", "shard_rows", "manifest"}
+)
+
+#: The sanctioned backoff helpers (retry-discipline, RL006).  A retry
+#: loop — a loop containing a ``try`` — may only sleep on delays derived
+#: from one of these; hand-rolled ``time.sleep`` retry pacing diverges
+#: from the project's tested exponential-backoff-with-jitter behaviour.
+BACKOFF_HELPERS: Final[FrozenSet[str]] = frozenset({"compute_backoff"})
+
+#: Call names treated as "a solver ran here" by retry-discipline
+#: (RL006).  A broad ``except Exception`` around one of these can
+#: swallow a :class:`~repro.exceptions.SolverError` that the
+#: orchestrator needed for retry accounting or poison-pair quarantine.
+SOLVER_CALL_NAMES: Final[FrozenSet[str]] = frozenset(
+    {
+        "compute_pairs",
+        "emd",
+        "emd_with_flow",
+        "banded_matrix",
+        "banded_emd_matrix",
+        "solve_emd_linprog",
+        "solve_emd_linprog_batch",
+        "sinkhorn_emd",
+        "sinkhorn_transport",
+        "sinkhorn_transport_batch",
+        "solve_transportation",
+    }
 )
 
 #: The detector configuration dataclass whose fields must be reachable

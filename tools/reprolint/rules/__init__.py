@@ -4,6 +4,7 @@ from .config_plumbing import ConfigPlumbingRule
 from .exception_context import ExceptionContextRule
 from .pool_safety import PoolSafetyRule
 from .registry_consistency import RegistryConsistencyRule
+from .retry_discipline import RetryDisciplineRule
 from .rng_discipline import RngDisciplineRule
 
 #: All rules in code order (RL001 …).
@@ -13,6 +14,7 @@ RULES = (
     PoolSafetyRule,
     ExceptionContextRule,
     ConfigPlumbingRule,
+    RetryDisciplineRule,
 )
 
 __all__ = [
@@ -22,4 +24,5 @@ __all__ = [
     "PoolSafetyRule",
     "ExceptionContextRule",
     "ConfigPlumbingRule",
+    "RetryDisciplineRule",
 ]

@@ -1,0 +1,152 @@
+"""RL006 — retry loops must use the sanctioned backoff helper and never
+swallow solver failures.
+
+The fault-tolerant shard orchestrator (PR 7) centralised retry pacing in
+:func:`repro.emd.orchestrator.compute_backoff` — exponential growth,
+cap, seeded jitter — and built its quarantine accounting on
+:class:`~repro.exceptions.SolverError` propagating out of every solve.
+Two coding patterns silently undermine that design:
+
+* a **hand-rolled retry loop**: a ``while``/``for`` that retries a
+  ``try`` block and paces itself with ``time.sleep`` on an ad-hoc delay
+  instead of one derived from the shared backoff helper.  Such loops
+  drift from the tested backoff behaviour (no cap, no jitter, retry
+  storms);
+* a **solver-error swallow**: an ``except`` handler that catches
+  :class:`SolverError` (by name, or behind a broad ``Exception`` /
+  ``BaseException`` around solver calls) and then neither re-raises,
+  routes to quarantine, nor even inspects the exception.  The failure —
+  and its ``pair_indices`` context — vanishes before the orchestrator's
+  retry/poison machinery can see it.
+
+Concretely, a violation is:
+
+* a ``time.sleep(...)`` call inside a loop that also contains a ``try``
+  statement, unless the loop derives a delay from a helper in
+  :data:`~tools.reprolint.project.BACKOFF_HELPERS`;
+* an ``except`` handler whose clause names ``SolverError`` (alone or in
+  a tuple), or names ``Exception``/``BaseException`` while the guarded
+  ``try`` body calls a solver entry point
+  (:data:`~tools.reprolint.project.SOLVER_CALL_NAMES`), and whose body
+  has no ``raise``, no call mentioning quarantine, and never uses the
+  bound exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..asthelpers import dotted_name, terminal_name
+from ..engine import ModuleInfo, ProjectContext, Rule, Violation
+from ..project import BACKOFF_HELPERS, SOLVER_CALL_NAMES
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_time_sleep(node: ast.Call) -> bool:
+    return dotted_name(node.func) in ("time.sleep", "sleep")
+
+
+def _calls_backoff_helper(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and terminal_name(node.func) in BACKOFF_HELPERS:
+            return True
+    return False
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    """The exception class names an ``except`` clause catches."""
+    clause = handler.type
+    if clause is None:
+        yield "BaseException"  # a bare ``except:`` catches everything
+        return
+    elements = clause.elts if isinstance(clause, ast.Tuple) else [clause]
+    for element in elements:
+        name = terminal_name(element)
+        if name is not None:
+            yield name
+
+
+def _calls_solver(statements: list) -> bool:
+    for statement in statements:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Call) and terminal_name(node.func) in SOLVER_CALL_NAMES:
+                return True
+    return False
+
+
+def _handler_disposes_properly(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises, quarantines or inspects the error."""
+    bound = handler.name
+    for statement in handler.body:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                if name is not None and "quarantine" in name.lower():
+                    return True
+            if bound is not None and isinstance(node, ast.Name) and node.id == bound:
+                return True
+    return False
+
+
+class RetryDisciplineRule(Rule):
+    code = "RL006"
+    name = "retry-discipline"
+    description = (
+        "retry loops must pace themselves with the shared backoff helper, "
+        "and except handlers must not swallow SolverError"
+    )
+
+    def check(self, module: ModuleInfo, context: ProjectContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+                yield from self._check_retry_loop(module, node)
+            elif isinstance(node, ast.Try):
+                yield from self._check_handlers(module, node)
+
+    def _check_retry_loop(self, module: ModuleInfo, loop: ast.AST) -> Iterator[Violation]:
+        body = getattr(loop, "body", []) + getattr(loop, "orelse", [])
+        has_try = any(
+            isinstance(inner, ast.Try)
+            for statement in body
+            for inner in ast.walk(statement)
+        )
+        if not has_try or _calls_backoff_helper(loop):
+            return
+        for statement in body:
+            for inner in ast.walk(statement):
+                if isinstance(inner, ast.Call) and _is_time_sleep(inner):
+                    yield self.violation(
+                        module.path,
+                        inner,
+                        "hand-rolled retry pacing: this loop retries a try "
+                        "block but sleeps on an ad-hoc delay; derive it from "
+                        "compute_backoff() (exponential growth, cap, seeded "
+                        "jitter) instead",
+                    )
+
+    def _check_handlers(self, module: ModuleInfo, node: ast.Try) -> Iterator[Violation]:
+        guards_solver: Optional[bool] = None
+        for handler in node.handlers:
+            names = set(_handler_names(handler))
+            catches_solver_error = "SolverError" in names
+            if not catches_solver_error and names & _BROAD_EXCEPTIONS:
+                if guards_solver is None:
+                    guards_solver = _calls_solver(node.body)
+                catches_solver_error = guards_solver
+            if not catches_solver_error:
+                continue
+            if _handler_disposes_properly(handler):
+                continue
+            caught = ", ".join(sorted(names))
+            yield self.violation(
+                module.path,
+                handler,
+                f"except handler ({caught}) swallows SolverError: the "
+                "failure (and its pair_indices context) never reaches the "
+                "retry/quarantine machinery; re-raise, quarantine, or at "
+                "least record the bound exception",
+            )
