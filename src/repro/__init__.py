@@ -34,13 +34,17 @@ from .core import (
 )
 from .emd import emd, emd_matrix, emd_with_flow
 from .exceptions import (
+    BackpressureError,
+    CheckpointError,
     ConfigurationError,
+    DetectorClosedError,
     EmptyBagError,
     NotFittedError,
     ReproError,
     SolverError,
     ValidationError,
 )
+from .service import StreamSupervisor, SupervisorPolicy
 from .signatures import Signature, SignatureBuilder, build_signature
 
 __version__ = "1.0.0"
@@ -57,6 +61,8 @@ __all__ = [
     "Signature",
     "SignatureBuilder",
     "build_signature",
+    "StreamSupervisor",
+    "SupervisorPolicy",
     "emd",
     "emd_with_flow",
     "emd_matrix",
@@ -64,6 +70,9 @@ __all__ = [
     "ValidationError",
     "EmptyBagError",
     "SolverError",
+    "BackpressureError",
+    "CheckpointError",
+    "DetectorClosedError",
     "NotFittedError",
     "ConfigurationError",
     "__version__",

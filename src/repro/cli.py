@@ -20,6 +20,16 @@ retry/backoff, timeouts, straggler re-dispatch and poison-pair
 quarantine (resuming from validated per-shard checkpoints), and writes
 the merged band as an ``.npz`` — the expensive half of a detection run,
 made restartable and fault-tolerant.
+
+A third mode, ``repro-detect serve-replay``, replays the recorded bags
+through the crash-safe streaming service
+(:class:`repro.service.StreamSupervisor`): the bags are dealt
+round-robin across ``--streams`` named online detector streams running
+behind bounded ingest queues, with snapshot/restore (``--snapshot-dir``
+/ ``--snapshot-every``), a per-stream fault-isolation policy
+(``--on-stream-error``) and a backpressure policy (``--backpressure``).
+Scores are printed as CSV with a leading ``stream`` column; the
+supervisor's robustness metrics go to standard error.
 """
 
 from __future__ import annotations
@@ -40,6 +50,12 @@ from .emd.orchestrator import RetryPolicy, ShardOrchestrator
 from .emd.registry import PARALLEL_BACKENDS, POISON_POLICIES, SHARD_MODES
 from .emd.sharding import EngineSettings, ShardPlan
 from .exceptions import ValidationError
+from .service import (
+    BACKPRESSURE_POLICIES,
+    STREAM_ERROR_POLICIES,
+    StreamSupervisor,
+    SupervisorPolicy,
+)
 
 
 def _load_npz(path: Path) -> List[np.ndarray]:
@@ -191,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--bootstrap", type=int, default=200, help="Bayesian bootstrap replicates")
     parser.add_argument("--alpha", type=float, default=0.05, help="CI significance level")
+    parser.add_argument(
+        "--history-limit", type=int, default=None,
+        help="retain only this many most recent score points in the online "
+        "detector (default: unbounded)",
+    )
     parser.add_argument("--output", type=Path, default=None, help="write CSV here instead of stdout")
     return parser
 
@@ -228,6 +249,150 @@ def build_shard_parser() -> argparse.ArgumentParser:
         "plan_hash, fingerprint); default: report only",
     )
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``serve-replay`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect serve-replay",
+        description="Replay recorded bags through the crash-safe streaming "
+        "service: bags are dealt round-robin across named online detector "
+        "streams with snapshot/restore, per-stream fault isolation and "
+        "bounded ingest queues.",
+    )
+    _add_common_args(parser)
+    parser.add_argument("--score", choices=SCORES, default="kl", help="change-point score")
+    parser.add_argument(
+        "--weighting",
+        choices=WEIGHTINGS,
+        default="uniform",
+        help="window weighting: the paper's uniform weights or Eq. 15 discounting",
+    )
+    parser.add_argument(
+        "--lr-inspection-index", type=int, default=0,
+        help="test-window position of the inspected bag for --score lr",
+    )
+    parser.add_argument("--bootstrap", type=int, default=200, help="Bayesian bootstrap replicates")
+    parser.add_argument("--alpha", type=float, default=0.05, help="CI significance level")
+    parser.add_argument(
+        "--streams", type=int, default=2,
+        help="number of streams the recorded bags are dealt across",
+    )
+    parser.add_argument(
+        "--snapshot-dir", type=Path, default=None,
+        help="directory for stream snapshots and the quarantine manifest; "
+        "a restarted replay restores every stream from it",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=None,
+        help="snapshot each stream after this many pushes (requires "
+        "--snapshot-dir); streams are always snapshotted at shutdown",
+    )
+    parser.add_argument(
+        "--on-stream-error", choices=STREAM_ERROR_POLICIES, default="strict",
+        help="what a solver failure during one stream's push does to that "
+        "stream: propagate with the bag requeued (strict), consume the bag "
+        "masked with NaN scores (degraded), or park the stream on its last "
+        "snapshot (quarantine)",
+    )
+    parser.add_argument(
+        "--backpressure", choices=BACKPRESSURE_POLICIES, default="block",
+        help="full-queue policy: drain inline (block), drop the bag (shed) "
+        "or raise (error)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="bound of each stream's ingest queue",
+    )
+    parser.add_argument(
+        "--history-limit", type=int, default=None,
+        help="retained score points per stream (default: the service's "
+        "bounded default)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the per-stream score CSV here instead of stdout",
+    )
+    return parser
+
+
+def serve_replay_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-detect serve-replay``."""
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.streams < 1:
+        parser.error("--streams must be a positive integer")
+    bags = _load_bags(parser, args.input, args.time_column)
+
+    policy = SupervisorPolicy(
+        on_stream_error=args.on_stream_error,
+        backpressure=args.backpressure,
+        queue_capacity=args.queue_capacity,
+        snapshot_every=args.snapshot_every,
+    )
+
+    def stream_config(index: int) -> DetectorConfig:
+        # Each stream draws from its own seeded generator so replays are
+        # reproducible per stream, not just per run.
+        return DetectorConfig(
+            tau=args.tau,
+            tau_test=args.tau_test,
+            score=args.score,
+            signature_method=args.signature,
+            n_clusters=args.clusters,
+            bins=args.bins,
+            ground_distance=args.ground_distance,
+            emd_backend=args.emd_backend,
+            sinkhorn_epsilon=args.sinkhorn_epsilon,
+            sinkhorn_max_iter=args.sinkhorn_max_iter,
+            sinkhorn_tol=args.sinkhorn_tol,
+            sinkhorn_anneal=args.sinkhorn_anneal,
+            history_limit=args.history_limit,
+            lr_inspection_index=args.lr_inspection_index,
+            weighting=args.weighting,
+            n_bootstrap=args.bootstrap,
+            alpha=args.alpha,
+            random_state=None if args.seed is None else args.seed + index,
+        )
+
+    names = [f"stream-{index:02d}" for index in range(args.streams)]
+    header = ["stream", "time", "score", "lower", "upper", "gamma", "alert"]
+    lines = [",".join(header)]
+    with StreamSupervisor(policy=policy, snapshot_dir=args.snapshot_dir) as supervisor:
+        for index, name in enumerate(names):
+            supervisor.add_stream(name, stream_config(index))
+        for position, bag in enumerate(bags):
+            supervisor.submit(names[position % args.streams], bag)
+        for name, point in supervisor.drain():
+            lines.append(
+                ",".join(
+                    (
+                        name,
+                        str(point.time),
+                        str(point.score),
+                        str(point.interval.lower),
+                        str(point.interval.upper),
+                        str(point.gamma),
+                        str(point.alert),
+                    )
+                )
+            )
+        metrics = supervisor.metrics
+    print(
+        "serve-replay: "
+        f"streams={metrics['n_streams']} shed={metrics['n_shed']} "
+        f"quarantined={metrics['n_quarantined']} "
+        f"restored={metrics['n_restored']} "
+        f"degraded_points={metrics['n_degraded_points']} "
+        f"snapshots={metrics['n_snapshots_written']}",
+        file=sys.stderr,
+    )
+    output_text = "\n".join(lines) + "\n"
+    if args.output is not None:
+        args.output.write_text(output_text)
+    else:
+        sys.stdout.write(output_text)
+    return 0
 
 
 def _load_bags(
@@ -315,11 +480,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-detect`` console script.
 
     ``repro-detect shard-build …`` dispatches to the sharded band-build
-    subcommand; anything else is the classic detection run.
+    subcommand, ``repro-detect serve-replay …`` to the streaming-service
+    replay; anything else is the classic detection run.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "shard-build":
         return shard_build_main(argv[1:])
+    if argv and argv[0] == "serve-replay":
+        return serve_replay_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     bags = _load_bags(parser, args.input, args.time_column)
@@ -344,6 +512,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         shard_retries=args.retries,
         shard_timeout=args.shard_timeout,
         on_poison_pair=args.on_poison_pair,
+        history_limit=args.history_limit,
         lr_inspection_index=args.lr_inspection_index,
         weighting=args.weighting,
         n_bootstrap=args.bootstrap,

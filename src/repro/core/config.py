@@ -124,6 +124,14 @@ class DetectorConfig:
         :class:`~repro.exceptions.PoisonPairError` with the quarantine
         manifest attached; ``"degraded"`` warns and returns the band
         with exactly those entries masked as NaN.
+    history_limit:
+        Maximum number of emitted :class:`~repro.core.ScorePoint`\\ s the
+        online detector retains (a bounded deque).  ``None`` (default)
+        keeps the full history — fine for finite runs, unbounded growth
+        in a long-running service, which is why
+        :class:`repro.service.StreamSupervisor` substitutes a bounded
+        default for its streams when this is ``None``.  Only the
+        retained tail is serialised into stream snapshots.
     lr_inspection_index:
         Position (0-based) within the test window of the bag ``S_t`` that
         the ``"lr"`` score compares against both windows (Eq. 16).  The
@@ -162,6 +170,7 @@ class DetectorConfig:
     shard_retries: int = 2
     shard_timeout: Optional[float] = None
     on_poison_pair: PoisonPolicyName = "strict"
+    history_limit: Optional[int] = None
     lr_inspection_index: int = 0
     weighting: str = "uniform"
     n_bootstrap: int = 200
@@ -198,6 +207,8 @@ class DetectorConfig:
             check_positive_int(self.sinkhorn_max_iter, "sinkhorn_max_iter")
             if self.n_shards is not None:
                 check_positive_int(self.n_shards, "n_shards")
+            if self.history_limit is not None:
+                check_positive_int(self.history_limit, "history_limit")
         except ValidationError as exc:
             raise ConfigurationError(str(exc)) from None
         if self.parallel_backend not in PARALLEL_BACKENDS:

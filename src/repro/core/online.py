@@ -11,31 +11,61 @@ EMD values and, on each :meth:`push`, shifts it up-left by one row and
 column (reusing every overlapping entry) and computes only the
 ``τ + τ′ − 1`` new distances that involve the arriving bag — batched
 through :class:`~repro.emd.PairwiseEMDEngine`.  Memory stays bounded by
-O((τ + τ′)²) distances.
+O((τ + τ′)²) distances, and (with ``DetectorConfig.history_limit`` set)
+by O(history_limit) retained score points.
 
 Scoring is delegated to the batched
 :class:`~repro.core.score_engine.ScoreEngine`.  A second rolling matrix
 holds the *clipped-and-logged* distances (the only form the estimators
 consume), so each push logs just the ``τ + τ′ − 1`` arriving values and
 every inspection point reuses the logged entries of all previous pushes.
+
+Robustness contract (the streaming service builds on these):
+
+* **Failed pushes are retryable.**  :meth:`push` mutates no detector
+  state — not the signature window, not the rolling matrices, not even
+  the random generator — until the arriving bag's distances have been
+  solved.  A :class:`~repro.exceptions.SolverError` mid-push therefore
+  leaves the detector exactly as it was, and retrying the same push
+  replays the identical signature-construction draws.
+* **State is serialisable.**  :meth:`state_dict` captures everything a
+  bit-identical continuation needs (signature window, rolling matrices,
+  RNG bit-generator state, threshold intervals, history tail) and
+  :meth:`from_state_dict` rebuilds a detector whose subsequent scores
+  match an uninterrupted run to float equality.  The stamped on-disk
+  form lives in :mod:`repro.service.snapshots`.
+* **Lifecycle is explicit.**  A closed detector raises
+  :class:`~repro.exceptions.DetectorClosedError` from :meth:`push`
+  instead of surfacing whatever the released engine happens to throw,
+  and :meth:`close` is idempotent.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .._validation import as_rng
+from ..bootstrap import ConfidenceInterval
 from ..emd import PairwiseEMDEngine
-from ..exceptions import ValidationError
+from ..exceptions import (
+    CheckpointError,
+    DetectorClosedError,
+    SolverError,
+    ValidationError,
+)
 from ..signatures import Signature, SignatureBuilder
 from .config import DetectorConfig
 from .results import DetectionResult, ScorePoint
 from .score_engine import ScoreEngine
 from .scores import LogWindowDistances
 from .thresholding import AdaptiveThreshold
+
+#: Version of the :meth:`OnlineBagDetector.state_dict` layout; bumped on
+#: layout changes so a stale snapshot is rejected instead of misread.
+STATE_FORMAT_VERSION = 1
 
 
 class OnlineBagDetector:
@@ -58,7 +88,7 @@ class OnlineBagDetector:
 
     def __init__(self, config: Optional[DetectorConfig] = None, **kwargs: object) -> None:
         if config is None:
-            config = DetectorConfig(**kwargs)
+            config = DetectorConfig(**kwargs)  # type: ignore[arg-type]
         elif kwargs:
             raise ValidationError("pass either a DetectorConfig or keyword arguments, not both")
         self.config = config
@@ -95,35 +125,60 @@ class OnlineBagDetector:
         self._log_floor = float(np.log(config.estimator.min_distance))
         self._log_matrix = np.full((span, span), self._log_floor, dtype=float)
         self._next_index = 0
-        self._history: List[ScorePoint] = []
+        # Emitted score points; bounded when config.history_limit is set
+        # so a long-running stream's memory stays O(limit).
+        self._history: Deque[ScorePoint] = deque(maxlen=config.history_limit)
+        self._history_result: Optional[DetectionResult] = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
     def close(self) -> None:
         """Release the EMD engine's worker pool (idempotent).
 
         Only needed when ``parallel_backend`` is ``"thread"``/``"process"``
-        — the engine keeps its pool alive across pushes; a closed detector
-        cannot ``push`` again.
+        — the engine keeps its pool alive across pushes.  A closed
+        detector raises :class:`~repro.exceptions.DetectorClosedError`
+        from :meth:`push`; its history and :meth:`state_dict` stay
+        readable, so a supervised stream can still be snapshotted during
+        teardown.
         """
+        if self._closed:
+            return
         self._engine.close()
+        self._closed = True
 
     def __enter__(self) -> "OnlineBagDetector":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DetectorClosedError(
+                "this OnlineBagDetector has been closed and cannot consume "
+                "more bags; create a new detector, or restore one from a "
+                "snapshot with OnlineBagDetector.from_state_dict()"
+            )
 
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
-    def _extend_window_matrix(self, signature: Signature) -> None:
+    def _extend_window_matrix(self, signature: Signature, *, masked: bool = False) -> None:
         """Slide the rolling matrix and add the arriving bag's distances.
 
         Computes exactly ``len(window) − 1`` new EMD values (τ + τ′ − 1
         once the window is full); every other entry of the matrix is
-        reused from the previous step.
+        reused from the previous step.  With ``masked=True`` no solve
+        happens and the arriving distances enter as NaN (the degraded
+        path for a bag whose solve already failed).
         """
         span = self.config.window_span
         # Compute the arriving bag's distances before touching any state,
@@ -135,9 +190,12 @@ class OnlineBagDetector:
         staying = list(self._signatures)
         if len(staying) == span:
             staying = staying[1:]
-        new_distances = self._engine.compute_pairs(
-            [(entry[1], signature) for entry in staying]
-        )
+        if masked:
+            new_distances = np.full(len(staying), np.nan)
+        else:
+            new_distances = self._engine.compute_pairs(
+                [(entry[1], signature) for entry in staying]
+            )
         if len(self._signatures) == span:
             # The oldest signature leaves: shift the kept blocks up-left.
             self._window_matrix[:-1, :-1] = self._window_matrix[1:, 1:]
@@ -147,6 +205,8 @@ class OnlineBagDetector:
         if m > 1:
             self._window_matrix[m - 1, : m - 1] = new_distances
             self._window_matrix[: m - 1, m - 1] = new_distances
+            # np.maximum propagates NaN, so masked entries stay NaN in
+            # the log matrix too and _emit can detect them.
             new_logs = np.log(
                 np.maximum(new_distances, self.config.estimator.min_distance)
             )
@@ -154,6 +214,38 @@ class OnlineBagDetector:
             self._log_matrix[: m - 1, m - 1] = new_logs
         self._window_matrix[m - 1, m - 1] = 0.0
         self._log_matrix[m - 1, m - 1] = self._log_floor
+
+    def _emit(self) -> Optional[ScorePoint]:
+        """Score the current window once it is full and record the point."""
+        cfg = self.config
+        if len(self._signatures) < cfg.window_span:
+            return None
+        inspection_time = self._signatures[cfg.tau][0]
+        if np.isnan(self._log_matrix).any():
+            # The window still contains a masked (failed) bag: the
+            # estimators cannot score it, but the bootstrap draws are
+            # consumed anyway so the stream re-converges with an
+            # unfaulted run once the masked bag leaves the window.
+            point_score, interval = self._score_engine.masked_point_and_interval()
+        else:
+            log_window = LogWindowDistances(
+                ref_log=self._log_matrix[: cfg.tau, : cfg.tau].copy(),
+                test_log=self._log_matrix[cfg.tau :, cfg.tau :].copy(),
+                cross_log=self._log_matrix[: cfg.tau, cfg.tau :].copy(),
+                config=cfg.estimator,
+            )
+            point_score, interval = self._score_engine.point_and_interval(log_window)
+        gamma, alert = self._threshold.update(inspection_time, interval)
+        point = ScorePoint(
+            time=inspection_time,
+            score=point_score,
+            interval=interval,
+            gamma=gamma,
+            alert=alert,
+        )
+        self._history.append(point)
+        self._history_result = None
+        return point
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -170,40 +262,60 @@ class OnlineBagDetector:
 
     @property
     def history(self) -> DetectionResult:
-        """All score points emitted so far, as a :class:`DetectionResult`."""
-        return DetectionResult(points=list(self._history))
+        """The retained score points, as a :class:`DetectionResult`.
+
+        Bounded to the ``config.history_limit`` most recent points when
+        a limit is set.  The result is cached between pushes (no full
+        re-copy per access) and rebuilt lazily after the next emission;
+        treat it as read-only.
+        """
+        if self._history_result is None:
+            self._history_result = DetectionResult(points=list(self._history))
+        return self._history_result
 
     def push(self, bag: np.ndarray) -> Optional[ScorePoint]:
-        """Consume one bag; return a score point once the window is full."""
-        cfg = self.config
+        """Consume one bag; return a score point once the window is full.
+
+        A :class:`~repro.exceptions.SolverError` raised by the arriving
+        bag's distance solves leaves the detector untouched — including
+        the random generator, which is rewound past the signature
+        construction draws — so the same push can simply be retried.
+        """
+        self._check_open()
+        index = self._next_index
+        data = np.asarray(bag, dtype=float)
+        rng_state = self._rng.bit_generator.state
+        try:
+            signature = self._builder.build(data, label=index)
+            self._extend_window_matrix(signature)
+        except SolverError:
+            # The signature build may have consumed generator draws
+            # (stochastic quantisers); rewind so a retried push replays
+            # the identical draws and converges with an unfaulted run.
+            self._rng.bit_generator.state = rng_state
+            raise
+        self._next_index += 1
+        return self._emit()
+
+    def push_masked(self, bag: np.ndarray) -> Optional[ScorePoint]:
+        """Consume one bag *without solving*: its distances enter as NaN.
+
+        The degraded-service path for a bag whose :meth:`push` failed
+        with a :class:`~repro.exceptions.SolverError`: the stream keeps
+        advancing, every inspection point whose window still contains
+        the masked bag emits a NaN score (never an alert), and once the
+        bag has left the window the scores are again bit-identical to an
+        unfaulted run (the signature draws and bootstrap draws are
+        consumed identically either way).
+        """
+        self._check_open()
         index = self._next_index
         signature = self._builder.build(np.asarray(bag, dtype=float), label=index)
-        self._extend_window_matrix(signature)
+        self._extend_window_matrix(signature, masked=True)
         self._next_index += 1
+        return self._emit()
 
-        if len(self._signatures) < cfg.window_span:
-            return None
-
-        inspection_time = self._signatures[cfg.tau][0]
-        log_window = LogWindowDistances(
-            ref_log=self._log_matrix[: cfg.tau, : cfg.tau].copy(),
-            test_log=self._log_matrix[cfg.tau :, cfg.tau :].copy(),
-            cross_log=self._log_matrix[: cfg.tau, cfg.tau :].copy(),
-            config=cfg.estimator,
-        )
-        point_score, interval = self._score_engine.point_and_interval(log_window)
-        gamma, alert = self._threshold.update(inspection_time, interval)
-        point = ScorePoint(
-            time=inspection_time,
-            score=point_score,
-            interval=interval,
-            gamma=gamma,
-            alert=alert,
-        )
-        self._history.append(point)
-        return point
-
-    def push_many(self, bags) -> List[ScorePoint]:
+    def push_many(self, bags: Any) -> List[ScorePoint]:
         """Push a sequence of bags, returning the score points that were emitted."""
         emitted: List[ScorePoint] = []
         for bag in bags:
@@ -211,3 +323,104 @@ class OnlineBagDetector:
             if point is not None:
                 emitted.append(point)
         return emitted
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / restore
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Everything a bit-identical continuation of this stream needs.
+
+        The returned mapping holds plain arrays, scalars and frozen
+        value objects (safe to serialise):
+
+        * ``format_version`` — :data:`STATE_FORMAT_VERSION`;
+        * ``n_seen`` — bags consumed so far;
+        * ``signatures`` — the ``(index, Signature)`` window entries;
+        * ``window_matrix`` / ``log_matrix`` — the rolling matrices;
+        * ``rng_state`` — the generator's bit-generator state (both the
+          signature builder and the bootstrap draw from this one
+          generator, so restoring it restores every future draw);
+        * ``threshold`` — the ``lag`` most recent confidence intervals
+          (the only ones a future γ can reference);
+        * ``history`` — the retained :class:`ScorePoint` tail.
+
+        The stamped, checksummed on-disk form is produced by
+        :func:`repro.service.snapshots.save_stream_snapshot`.
+        """
+        return {
+            "format_version": STATE_FORMAT_VERSION,
+            "n_seen": int(self._next_index),
+            "signatures": list(self._signatures),
+            "window_matrix": self._window_matrix.copy(),
+            "log_matrix": self._log_matrix.copy(),
+            "rng_state": self._rng.bit_generator.state,
+            "threshold": self._threshold.state(tail_only=True),
+            "history": list(self._history),
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls,
+        state: Mapping[str, Any],
+        config: Optional[DetectorConfig] = None,
+        **kwargs: object,
+    ) -> "OnlineBagDetector":
+        """Rebuild a detector that continues exactly where ``state`` left off.
+
+        ``config`` (or keyword arguments) must describe the same
+        computation as the snapshotted stream — window lengths, solver,
+        score, bootstrap size; a mismatched geometry or RNG family is
+        rejected with :class:`~repro.exceptions.CheckpointError`.  The
+        stamped on-disk loader
+        (:func:`repro.service.snapshots.load_stream_snapshot`) addition­
+        ally verifies a config fingerprint and payload checksum before
+        the state ever reaches this method.
+        """
+        detector = cls(config, **kwargs)
+        version = int(state.get("format_version", -1))
+        if version != STATE_FORMAT_VERSION:
+            raise CheckpointError(
+                f"stream state has format version {version}, expected "
+                f"{STATE_FORMAT_VERSION}; re-snapshot the stream with this "
+                "library version"
+            )
+        span = detector.config.window_span
+        window_matrix = np.asarray(state["window_matrix"], dtype=float)
+        log_matrix = np.asarray(state["log_matrix"], dtype=float)
+        if window_matrix.shape != (span, span) or log_matrix.shape != (span, span):
+            raise CheckpointError(
+                f"stream state was captured with window span "
+                f"{window_matrix.shape[0]}, but this config has "
+                f"tau + tau_test = {span}; restore with the original "
+                "tau/tau_test"
+            )
+        entries: List[Tuple[int, Signature]] = [
+            (int(index), signature) for index, signature in state["signatures"]
+        ]
+        if len(entries) > span:
+            raise CheckpointError(
+                f"stream state holds {len(entries)} window signatures, "
+                f"more than the window span {span}"
+            )
+        rng_state = dict(state["rng_state"])
+        bit_generator = detector._rng.bit_generator
+        current_family = type(bit_generator).__name__
+        saved_family = str(rng_state.get("bit_generator"))
+        if saved_family != current_family:
+            raise CheckpointError(
+                f"stream state was captured from a {saved_family} bit "
+                f"generator but this config yields {current_family}; "
+                "restore with the original random_state family"
+            )
+        # In-place: the signature builder and the bootstrap hold this
+        # same Generator object, so every future draw is restored too.
+        bit_generator.state = rng_state
+        detector._signatures.extend(entries)
+        detector._window_matrix[...] = window_matrix
+        detector._log_matrix[...] = log_matrix
+        detector._next_index = int(state["n_seen"])
+        threshold_state: Mapping[int, ConfidenceInterval] = state["threshold"]
+        detector._threshold.restore(threshold_state)
+        detector._history.extend(state["history"])
+        detector._history_result = None
+        return detector

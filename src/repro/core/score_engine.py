@@ -131,6 +131,23 @@ class ScoreEngine:
             inspection_index=cfg.lr_inspection_index,
         )
 
+    def masked_point_and_interval(self) -> Tuple[float, ConfidenceInterval]:
+        """NaN score and interval for a window holding masked distances.
+
+        A degraded stream (one whose solver failed a push) carries NaN
+        entries in its rolling window; the estimators cannot score such
+        a window, but the stream must keep emitting.  This draws — and
+        discards — exactly the bootstrap weights a scored window would
+        consume, so the stream's generator stays in lockstep with an
+        unfaulted run and its scores re-converge bit-for-bit once the
+        masked bag has left the window.
+        """
+        cfg = self.config
+        self.bootstrap.resample_weights(cfg.tau, self.ref_weights)
+        self.bootstrap.resample_weights(cfg.tau_test, self.test_weights)
+        nan = float("nan")
+        return nan, ConfidenceInterval(lower=nan, upper=nan, level=1.0 - cfg.alpha, point=nan)
+
     def point_and_interval(
         self, window: WindowInput
     ) -> Tuple[float, ConfidenceInterval]:

@@ -13,7 +13,7 @@ earlier (the two intervals then involve disjoint test windows).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +62,22 @@ class AdaptiveThreshold:
     def interval_at(self, time: int) -> Optional[ConfidenceInterval]:
         """The interval registered at ``time``, if any."""
         return self._intervals.get(int(time))
+
+    def state(self, *, tail_only: bool = False) -> Dict[int, ConfidenceInterval]:
+        """The registered intervals, for snapshotting.
+
+        With ``tail_only=True`` only the ``lag`` most recent entries are
+        returned — the only ones a future :meth:`update` can still
+        compare against, since registration times strictly increase.
+        """
+        if not tail_only or len(self._intervals) <= self.lag:
+            return dict(self._intervals)
+        kept = sorted(self._intervals)[-self.lag :]
+        return {t: self._intervals[t] for t in kept}
+
+    def restore(self, intervals: Mapping[int, ConfidenceInterval]) -> None:
+        """Replace the registered intervals (snapshot restore)."""
+        self._intervals = {int(t): interval for t, interval in intervals.items()}
 
     def __len__(self) -> int:
         return len(self._intervals)

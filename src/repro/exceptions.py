@@ -132,9 +132,47 @@ class CheckpointError(ReproError, RuntimeError):
     """
 
 
+class BackpressureError(ReproError, RuntimeError):
+    """Raised when a stream's bounded ingest queue overflows under the
+    ``backpressure="error"`` policy.
+
+    Attributes
+    ----------
+    stream:
+        Name of the stream whose queue was full.
+    depth:
+        The queue depth (== capacity) at the time of the rejected submit.
+    """
+
+    def __init__(
+        self,
+        *args: object,
+        stream: Optional[str] = None,
+        depth: Optional[int] = None,
+    ) -> None:
+        super().__init__(*args)
+        self.stream = stream
+        self.depth = None if depth is None else int(depth)
+
+
 class NotFittedError(ReproError, RuntimeError):
     """Raised when a model is used before being fitted."""
 
 
 class ConfigurationError(ReproError, ValueError):
     """Raised when a detector or estimator is configured inconsistently."""
+
+
+class DetectorClosedError(ConfigurationError):
+    """Raised when a closed detector is asked to consume more data.
+
+    :meth:`repro.core.OnlineBagDetector.close` releases the detector's
+    solver resources; a subsequent :meth:`push` would otherwise surface
+    whatever low-level error the closed EMD engine happens to raise.
+    This error names the actual problem — the detector's lifecycle is
+    over — and points at the two valid continuations: create a fresh
+    detector, or restore one from a snapshot.  It subclasses
+    :class:`ConfigurationError` because that is what the offline
+    detector has always raised for use-after-close, so existing
+    ``except ConfigurationError`` handlers keep working.
+    """

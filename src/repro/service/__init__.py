@@ -1,0 +1,54 @@
+"""Crash-safe streaming detection service.
+
+Public surface:
+
+* :class:`StreamSupervisor` — multiplex many named online detector
+  streams with snapshot/restore, per-stream fault isolation and bounded
+  ingest queues.
+* :class:`SupervisorPolicy` — the robustness knobs (error policy,
+  backpressure policy, queue capacity, snapshot cadence).
+* :func:`save_stream_snapshot` / :func:`load_stream_snapshot` — the
+  stamped, checksummed on-disk form of one stream's state.
+* :func:`config_fingerprint` — hash of every score-affecting detector
+  setting; a snapshot only restores into a matching config.
+"""
+
+from .policies import (
+    BACKPRESSURE_POLICIES,
+    DEFAULT_SERVICE_HISTORY_LIMIT,
+    STREAM_ERROR_POLICIES,
+    BackpressurePolicyName,
+    StreamErrorPolicyName,
+    SupervisorPolicy,
+)
+from .snapshots import (
+    QUARANTINE_MANIFEST_VERSION,
+    SNAPSHOT_FORMAT_VERSION,
+    config_fingerprint,
+    load_quarantine_manifest,
+    load_stream_snapshot,
+    quarantine_manifest_path,
+    save_quarantine_manifest,
+    save_stream_snapshot,
+    snapshot_path,
+)
+from .supervisor import StreamSupervisor
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "DEFAULT_SERVICE_HISTORY_LIMIT",
+    "QUARANTINE_MANIFEST_VERSION",
+    "SNAPSHOT_FORMAT_VERSION",
+    "STREAM_ERROR_POLICIES",
+    "BackpressurePolicyName",
+    "StreamErrorPolicyName",
+    "StreamSupervisor",
+    "SupervisorPolicy",
+    "config_fingerprint",
+    "load_quarantine_manifest",
+    "load_stream_snapshot",
+    "quarantine_manifest_path",
+    "save_quarantine_manifest",
+    "save_stream_snapshot",
+    "snapshot_path",
+]

@@ -1,0 +1,107 @@
+"""Robustness policies of the streaming supervisor.
+
+Two orthogonal policy axes govern how :class:`repro.service.StreamSupervisor`
+reacts to trouble:
+
+* **Stream-error policy** — what a :class:`~repro.exceptions.SolverError`
+  during one stream's push does to that stream (never to its siblings):
+
+  ``"strict"``
+      The bag goes back to the front of the stream's queue and the error
+      propagates to the caller.  The failed push left the detector
+      untouched, so draining again simply retries the same bag.
+  ``"degraded"``
+      The bag is consumed through the detector's masked path: every
+      inspection point whose window still contains it emits a NaN score
+      (never an alert), and the stream's scores re-converge bit-for-bit
+      with an unfaulted run once the bag has left the window.
+  ``"quarantine"``
+      The stream is parked: its pre-failure state is snapshotted (when a
+      snapshot directory is configured), the failure is recorded in the
+      persisted quarantine manifest, its queued bags are shed, and the
+      supervisor stops accepting submissions for it until
+      :meth:`~repro.service.StreamSupervisor.restore_stream`.
+
+* **Backpressure policy** — what a submission to a full per-stream
+  queue does:
+
+  ``"block"``
+      The supervisor drains one queued bag of that stream inline
+      (synchronously, in the caller) to make room — ingest slows down to
+      processing speed instead of growing memory.
+  ``"shed"``
+      The new bag is dropped and counted on the supervisor's ``n_shed``
+      metric.
+  ``"error"``
+      A :class:`~repro.exceptions.BackpressureError` naming the stream
+      and its queue depth is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional, Tuple, get_args
+
+from ..exceptions import ConfigurationError
+
+StreamErrorPolicyName = Literal["strict", "degraded", "quarantine"]
+BackpressurePolicyName = Literal["block", "shed", "error"]
+
+#: Valid ``on_stream_error`` policies, in documentation order.
+STREAM_ERROR_POLICIES: Tuple[str, ...] = get_args(StreamErrorPolicyName)
+#: Valid ``backpressure`` policies, in documentation order.
+BACKPRESSURE_POLICIES: Tuple[str, ...] = get_args(BackpressurePolicyName)
+
+#: History bound substituted for supervised streams whose config leaves
+#: ``history_limit`` at ``None`` — a long-running service must not grow
+#: its per-stream memory with every emitted point.
+DEFAULT_SERVICE_HISTORY_LIMIT = 1024
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Robustness knobs of a :class:`repro.service.StreamSupervisor`.
+
+    Attributes
+    ----------
+    on_stream_error:
+        Per-stream fault-isolation policy (see module docstring).
+    backpressure:
+        Full-queue policy (see module docstring).
+    queue_capacity:
+        Bound of each stream's ingest queue.
+    snapshot_every:
+        Snapshot a stream after this many successful pushes (requires
+        the supervisor to have a snapshot directory); ``None`` disables
+        cadence snapshots — streams are then only snapshotted on
+        :meth:`~repro.service.StreamSupervisor.snapshot`, quarantine and
+        :meth:`~repro.service.StreamSupervisor.close`.
+    """
+
+    on_stream_error: StreamErrorPolicyName = "strict"
+    backpressure: BackpressurePolicyName = "block"
+    queue_capacity: int = 64
+    snapshot_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.on_stream_error not in STREAM_ERROR_POLICIES:
+            raise ConfigurationError(
+                f"on_stream_error must be one of {STREAM_ERROR_POLICIES}, "
+                f"got {self.on_stream_error!r}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ConfigurationError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+        if not isinstance(self.queue_capacity, int) or self.queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be a positive integer, got {self.queue_capacity!r}"
+            )
+        if self.snapshot_every is not None and (
+            not isinstance(self.snapshot_every, int) or self.snapshot_every < 1
+        ):
+            raise ConfigurationError(
+                f"snapshot_every must be a positive integer or None, "
+                f"got {self.snapshot_every!r}"
+            )

@@ -1,0 +1,461 @@
+"""Stamped, checksummed on-disk snapshots of online detector streams.
+
+The in-memory form of a stream's state is
+:meth:`repro.core.OnlineBagDetector.state_dict`; this module gives it a
+durable ``.npz`` representation with the same validation semantics as
+the shard checkpoints of :mod:`repro.emd.sharding` (format v2 idiom):
+
+* every file is stamped with a **format version**, a **config
+  fingerprint** (sha256 over every score-affecting detector setting) and
+  a **payload checksum** (sha256 over the exact serialised bytes);
+* writes are **atomic** — the payload lands in a temporary file that is
+  renamed into place, so a kill mid-write never leaves a half-written
+  snapshot under the canonical name;
+* loads **never repair**: a missing file returns ``None``, but an
+  unreadable, stale, corrupt or fingerprint-mismatched file raises
+  :class:`~repro.exceptions.CheckpointError` with an
+  expected-vs-found diagnostic.  Silently restoring a stream from a
+  snapshot produced under different settings would continue it with the
+  wrong computation, which is worse than refusing.
+
+The quarantine manifest of :class:`repro.service.StreamSupervisor` —
+the JSON record of streams parked by the ``"quarantine"`` error policy —
+is persisted here too, next to the snapshots it refers to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..bootstrap import ConfidenceInterval
+from ..core.config import DetectorConfig
+from ..core.online import STATE_FORMAT_VERSION
+from ..core.results import ScorePoint
+from ..exceptions import CheckpointError, ValidationError
+from ..signatures import Signature
+
+#: Version stamp written into every stream snapshot; bumped on layout
+#: changes so an old file is rejected with a clear message instead of
+#: being misread into a silently wrong stream state.
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Version stamp of the quarantine manifest JSON layout.
+QUARANTINE_MANIFEST_VERSION = 1
+
+#: Stream names become file names, so they are restricted to a
+#: filesystem-safe alphabet up front.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9._-]+$")
+
+#: Serialisation order of the payload arrays; the checksum hashes them
+#: in exactly this order, so the order is part of the format.
+_PAYLOAD_KEYS: Tuple[str, ...] = (
+    "n_seen",
+    "sig_indices",
+    "sig_offsets",
+    "sig_positions",
+    "sig_weights",
+    "window_matrix",
+    "log_matrix",
+    "rng_state_json",
+    "threshold_times",
+    "threshold_bounds",
+    "history_times",
+    "history_scores",
+    "history_gammas",
+    "history_alerts",
+    "history_bounds",
+)
+
+
+def check_stream_name(name: str) -> str:
+    """Validate a stream name (it becomes part of a file name)."""
+    if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+        raise ValidationError(
+            "stream names must be non-empty and use only letters, digits, "
+            f"'.', '_' and '-', got {name!r}"
+        )
+    return name
+
+
+def snapshot_path(directory: Union[str, Path], name: str) -> Path:
+    """Canonical snapshot file for one stream."""
+    return Path(directory) / f"stream_{check_stream_name(name)}.npz"
+
+
+def quarantine_manifest_path(directory: Union[str, Path]) -> Path:
+    """Canonical quarantine manifest file of a snapshot directory."""
+    return Path(directory) / "stream_quarantine.json"
+
+
+# ---------------------------------------------------------------------- #
+# Config fingerprint
+# ---------------------------------------------------------------------- #
+def config_fingerprint(config: DetectorConfig) -> str:
+    """Stable hash of every detector setting that changes a score.
+
+    Two configs with equal fingerprints produce bit-identical score
+    streams from identical inputs, so a snapshot may only be restored
+    into a detector whose config fingerprint matches.  Runtime-only
+    knobs — parallelism, sharding, checkpoint paths, ``history_limit`` —
+    are deliberately excluded: they change how fast or how much is
+    retained, never what is computed.
+    """
+    gd = config.ground_distance
+    if not isinstance(gd, str):
+        gd = f"callable:{getattr(gd, '__module__', '?')}.{getattr(gd, '__qualname__', repr(gd))}"
+    est = config.estimator
+    payload = "|".join(
+        (
+            f"v{SNAPSHOT_FORMAT_VERSION}",
+            f"tau={config.tau}",
+            f"tau_test={config.tau_test}",
+            f"score={config.score}",
+            f"signature_method={config.signature_method}",
+            f"n_clusters={config.n_clusters}",
+            f"bins={config.bins!r}",
+            f"histogram_range={None if config.histogram_range is None else [tuple(map(float, r)) for r in np.atleast_2d(np.asarray(config.histogram_range, dtype=float))]!r}",
+            f"ground_distance={gd}",
+            f"emd_backend={config.emd_backend}",
+            f"sinkhorn_epsilon={config.sinkhorn_epsilon!r}",
+            f"sinkhorn_max_iter={config.sinkhorn_max_iter}",
+            f"sinkhorn_tol={config.sinkhorn_tol!r}",
+            f"sinkhorn_anneal={None if config.sinkhorn_anneal is None else tuple(float(e) for e in config.sinkhorn_anneal)!r}",
+            f"lr_inspection_index={config.lr_inspection_index}",
+            f"weighting={config.weighting}",
+            f"n_bootstrap={config.n_bootstrap}",
+            f"alpha={config.alpha!r}",
+            f"estimator_constant={est.constant!r}",
+            f"estimator_dimension={est.dimension!r}",
+            f"estimator_min_distance={est.min_distance!r}",
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# State <-> array packing
+# ---------------------------------------------------------------------- #
+def _encode_rng_state(rng_state: Dict[str, Any]) -> str:
+    """JSON-encode a bit-generator state (ndarray members become lists)."""
+
+    def _default(obj: Any) -> Any:
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, np.integer):
+            return int(obj)
+        raise TypeError(f"cannot serialise {type(obj).__name__} in RNG state")
+
+    return json.dumps(rng_state, default=_default)
+
+
+def _decode_rng_state(encoded: str) -> Dict[str, Any]:
+    """Invert :func:`_encode_rng_state` (restores MT19937 key arrays)."""
+    state: Dict[str, Any] = json.loads(encoded)
+    inner = state.get("state")
+    if isinstance(inner, dict) and isinstance(inner.get("key"), list):
+        inner["key"] = np.asarray(inner["key"], dtype=np.uint32)
+    return state
+
+
+def _intervals_to_arrays(
+    items: List[Tuple[int, ConfidenceInterval]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    times = np.array([t for t, _ in items], dtype=np.int64)
+    bounds = np.array(
+        [[iv.lower, iv.upper, iv.level, iv.point] for _, iv in items], dtype=float
+    ).reshape(len(items), 4)
+    return times, bounds
+
+
+def _interval_from_row(row: np.ndarray) -> ConfidenceInterval:
+    return ConfidenceInterval(
+        lower=float(row[0]), upper=float(row[1]), level=float(row[2]), point=float(row[3])
+    )
+
+
+def _pack_state(state: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Flatten a detector state dict into named numpy payload arrays."""
+    signatures: List[Tuple[int, Signature]] = state["signatures"]
+    sig_indices = np.array([int(i) for i, _ in signatures], dtype=np.int64)
+    sizes = [sig.size for _, sig in signatures]
+    sig_offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    if signatures:
+        sig_positions = np.vstack([np.asarray(sig.positions, dtype=float) for _, sig in signatures])
+        sig_weights = np.concatenate([np.asarray(sig.weights, dtype=float) for _, sig in signatures])
+    else:
+        sig_positions = np.zeros((0, 1), dtype=float)
+        sig_weights = np.zeros(0, dtype=float)
+
+    threshold: Dict[int, ConfidenceInterval] = state["threshold"]
+    threshold_times, threshold_bounds = _intervals_to_arrays(
+        sorted(threshold.items())
+    )
+
+    history: List[ScorePoint] = state["history"]
+    history_times = np.array([p.time for p in history], dtype=np.int64)
+    history_scores = np.array([p.score for p in history], dtype=float)
+    history_gammas = np.array([p.gamma for p in history], dtype=float)
+    history_alerts = np.array([p.alert for p in history], dtype=bool)
+    _, history_bounds = _intervals_to_arrays([(p.time, p.interval) for p in history])
+
+    return {
+        "n_seen": np.array(int(state["n_seen"]), dtype=np.int64),
+        "sig_indices": sig_indices,
+        "sig_offsets": sig_offsets,
+        "sig_positions": sig_positions,
+        "sig_weights": sig_weights,
+        "window_matrix": np.asarray(state["window_matrix"], dtype=float),
+        "log_matrix": np.asarray(state["log_matrix"], dtype=float),
+        "rng_state_json": np.array(_encode_rng_state(dict(state["rng_state"]))),
+        "threshold_times": threshold_times,
+        "threshold_bounds": threshold_bounds,
+        "history_times": history_times,
+        "history_scores": history_scores,
+        "history_gammas": history_gammas,
+        "history_alerts": history_alerts,
+        "history_bounds": history_bounds,
+    }
+
+
+def _unpack_state(payload: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    """Invert :func:`_pack_state` back into a detector state dict."""
+    sig_indices = np.asarray(payload["sig_indices"], dtype=np.int64)
+    sig_offsets = np.asarray(payload["sig_offsets"], dtype=np.int64)
+    sig_positions = np.asarray(payload["sig_positions"], dtype=float)
+    sig_weights = np.asarray(payload["sig_weights"], dtype=float)
+    signatures: List[Tuple[int, Signature]] = []
+    for k, index in enumerate(sig_indices):
+        lo, hi = int(sig_offsets[k]), int(sig_offsets[k + 1])
+        signatures.append(
+            (
+                int(index),
+                Signature(
+                    positions=sig_positions[lo:hi],
+                    weights=sig_weights[lo:hi],
+                    label=int(index),
+                ),
+            )
+        )
+
+    threshold_times = np.asarray(payload["threshold_times"], dtype=np.int64)
+    threshold_bounds = np.asarray(payload["threshold_bounds"], dtype=float)
+    threshold = {
+        int(t): _interval_from_row(threshold_bounds[k])
+        for k, t in enumerate(threshold_times)
+    }
+
+    history_times = np.asarray(payload["history_times"], dtype=np.int64)
+    history_bounds = np.asarray(payload["history_bounds"], dtype=float)
+    history = [
+        ScorePoint(
+            time=int(history_times[k]),
+            score=float(payload["history_scores"][k]),
+            interval=_interval_from_row(history_bounds[k]),
+            gamma=float(payload["history_gammas"][k]),
+            alert=bool(payload["history_alerts"][k]),
+        )
+        for k in range(len(history_times))
+    ]
+
+    return {
+        "format_version": STATE_FORMAT_VERSION,
+        "n_seen": int(payload["n_seen"]),
+        "signatures": signatures,
+        "window_matrix": np.asarray(payload["window_matrix"], dtype=float),
+        "log_matrix": np.asarray(payload["log_matrix"], dtype=float),
+        "rng_state": _decode_rng_state(str(payload["rng_state_json"])),
+        "threshold": threshold,
+        "history": history,
+    }
+
+
+def _payload_checksum(payload: Dict[str, np.ndarray]) -> str:
+    """sha256 over the exact payload bytes, in the fixed key order."""
+    digest = hashlib.sha256()
+    for key in _PAYLOAD_KEYS:
+        array = np.ascontiguousarray(payload[key])
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# Save / load
+# ---------------------------------------------------------------------- #
+def save_stream_snapshot(
+    directory: Union[str, Path],
+    name: str,
+    state: Dict[str, Any],
+    fingerprint: str,
+) -> Path:
+    """Atomically write one stream's state, stamped for safe restores."""
+    version = int(state.get("format_version", -1))
+    if version != STATE_FORMAT_VERSION:
+        raise ValidationError(
+            f"stream state has format version {version}, expected "
+            f"{STATE_FORMAT_VERSION}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = snapshot_path(directory, name)
+    payload = _pack_state(state)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".stream_{name}.", suffix=".tmp.npz", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(
+                handle,
+                format_version=np.array(SNAPSHOT_FORMAT_VERSION),
+                state_version=np.array(STATE_FORMAT_VERSION),
+                stream=np.array(name),
+                fingerprint=np.array(fingerprint),
+                checksum=np.array(_payload_checksum(payload)),
+                **payload,
+            )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_stream_snapshot(
+    directory: Union[str, Path],
+    name: str,
+    fingerprint: str,
+) -> Optional[Dict[str, Any]]:
+    """One stream's snapshotted state, or ``None`` when not yet written.
+
+    Raises :class:`~repro.exceptions.CheckpointError` when a file exists
+    but is unreadable, has a different snapshot format, was captured
+    under a different config fingerprint, or fails its payload checksum.
+    A rejected snapshot is never silently discarded or recomputed — the
+    caller decides whether to delete it or to restore the original
+    configuration.
+    """
+    path = snapshot_path(directory, name)
+    if not path.exists():
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["format_version"])
+            stamp = str(archive["fingerprint"])
+            checksum = str(archive["checksum"])
+            payload = {key: np.asarray(archive[key]) for key in _PAYLOAD_KEYS}
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(f"stream snapshot {path} is unreadable: {exc}") from exc
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"stream snapshot {path} has format version {version}, expected "
+            f"{SNAPSHOT_FORMAT_VERSION}; re-snapshot the stream with this "
+            "library version"
+        )
+    if stamp != fingerprint:
+        raise CheckpointError(
+            f"stream snapshot {path} was captured under a different detector "
+            f"configuration: expected fingerprint {fingerprint}, found "
+            f"{stamp}; restore the original configuration or delete the "
+            "snapshot"
+        )
+    found_checksum = _payload_checksum(payload)
+    if checksum != found_checksum:
+        raise CheckpointError(
+            f"stream snapshot {path} is corrupt: expected payload checksum "
+            f"{checksum}, found {found_checksum}; delete the file (the "
+            "stream will restart from scratch)"
+        )
+    return _unpack_state(payload)
+
+
+# ---------------------------------------------------------------------- #
+# Quarantine manifest
+# ---------------------------------------------------------------------- #
+def save_quarantine_manifest(
+    directory: Union[str, Path], entries: Dict[str, Dict[str, Any]]
+) -> Path:
+    """Atomically persist the supervisor's quarantined-stream record.
+
+    ``entries`` maps stream names to ``{"n_seen", "reason",
+    "fingerprint"}`` dicts; an empty mapping is written out too (it
+    records that nothing is quarantined any more).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = quarantine_manifest_path(directory)
+    document = {
+        "format_version": QUARANTINE_MANIFEST_VERSION,
+        "streams": {
+            check_stream_name(name): {
+                "n_seen": int(entry["n_seen"]),
+                "reason": str(entry["reason"]),
+                "fingerprint": str(entry["fingerprint"]),
+            }
+            for name, entry in sorted(entries.items())
+        },
+    }
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".stream_quarantine.", suffix=".tmp.json", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_quarantine_manifest(
+    directory: Union[str, Path]
+) -> Dict[str, Dict[str, Any]]:
+    """The persisted quarantine record, empty when none was written.
+
+    Raises :class:`~repro.exceptions.CheckpointError` for an unreadable
+    or wrong-version manifest — a supervisor must not silently resume
+    streams whose quarantine record it cannot interpret.
+    """
+    path = quarantine_manifest_path(directory)
+    if not path.exists():
+        return {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        version = int(document["format_version"])
+        streams = document["streams"]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise CheckpointError(
+            f"quarantine manifest {path} is unreadable: {exc}"
+        ) from exc
+    if version != QUARANTINE_MANIFEST_VERSION:
+        raise CheckpointError(
+            f"quarantine manifest {path} has format version {version}, "
+            f"expected {QUARANTINE_MANIFEST_VERSION}"
+        )
+    return {
+        str(name): {
+            "n_seen": int(entry["n_seen"]),
+            "reason": str(entry["reason"]),
+            "fingerprint": str(entry["fingerprint"]),
+        }
+        for name, entry in streams.items()
+    }

@@ -1,0 +1,422 @@
+"""Crash-safe multiplexing of many online detector streams.
+
+:class:`StreamSupervisor` runs any number of named
+:class:`~repro.core.OnlineBagDetector` streams behind bounded ingest
+queues, with three robustness layers:
+
+1. **Snapshot/restore** — streams are periodically serialised into
+   stamped, checksummed snapshot files
+   (:mod:`repro.service.snapshots`); a supervisor pointed at the same
+   directory restores every stream on :meth:`add_stream` and continues
+   it bit-identically.
+2. **Per-stream fault isolation** — a solver failure during one
+   stream's push is handled by the configured
+   :class:`~repro.service.SupervisorPolicy` (strict / degraded /
+   quarantine) and never perturbs sibling streams: each stream owns its
+   detector, generator and queue, and the detector's push-retryability
+   contract guarantees the failed stream itself is left consistent.
+3. **Backpressure** — per-stream queues are bounded; a full queue
+   blocks (drains inline), sheds, or raises, per policy, and the
+   supervisor exposes shed/quarantine/restore counters and queue depths
+   as :attr:`metrics`.
+
+The supervisor is deliberately synchronous: :meth:`submit` enqueues,
+:meth:`drain` processes.  That keeps the scheduling deterministic (and
+the bit-identity guarantees testable); wrapping it in threads or an
+event loop is the caller's choice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from collections import deque
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.config import DetectorConfig
+from ..core.online import OnlineBagDetector
+from ..core.results import ScorePoint
+from ..exceptions import BackpressureError, SolverError, ValidationError
+from .policies import DEFAULT_SERVICE_HISTORY_LIMIT, SupervisorPolicy
+from .snapshots import (
+    check_stream_name,
+    config_fingerprint,
+    load_quarantine_manifest,
+    load_stream_snapshot,
+    save_quarantine_manifest,
+    save_stream_snapshot,
+)
+
+#: Stream lifecycle states.
+ACTIVE = "active"
+QUARANTINED = "quarantined"
+
+
+@dataclasses.dataclass
+class _StreamState:
+    """Book-keeping of one supervised stream (internal)."""
+
+    name: str
+    config: DetectorConfig
+    fingerprint: str
+    detector: OnlineBagDetector
+    queue: Deque[np.ndarray]
+    status: str = ACTIVE
+    pushes_since_snapshot: int = 0
+    quarantine_reason: Optional[str] = None
+
+
+class StreamSupervisor:
+    """Multiplex many named online detector streams, crash-safely.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`~repro.core.DetectorConfig` for streams added
+        without their own config.  When its ``history_limit`` is
+        ``None``, supervised streams get a bounded default
+        (:data:`~repro.service.DEFAULT_SERVICE_HISTORY_LIMIT`) — a
+        service must not grow per-stream memory forever.
+    policy:
+        The :class:`~repro.service.SupervisorPolicy`; defaults to
+        strict errors, blocking backpressure, no cadence snapshots.
+    snapshot_dir:
+        Directory for stream snapshots and the quarantine manifest.
+        ``None`` disables persistence (quarantine then parks streams
+        in memory only).
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        snapshot_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.config = config if config is not None else DetectorConfig()
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self.snapshot_dir = None if snapshot_dir is None else str(snapshot_dir)
+        self._streams: Dict[str, _StreamState] = {}
+        self._quarantine: Dict[str, Dict[str, Any]] = (
+            load_quarantine_manifest(self.snapshot_dir)
+            if self.snapshot_dir is not None
+            else {}
+        )
+        self._closed = False
+        self.n_shed = 0
+        self.n_quarantined = 0
+        self.n_restored = 0
+        self.n_degraded_points = 0
+        self.n_snapshots_written = 0
+
+    # ------------------------------------------------------------------ #
+    # Stream management
+    # ------------------------------------------------------------------ #
+    def _service_config(self, config: Optional[DetectorConfig]) -> DetectorConfig:
+        base = config if config is not None else self.config
+        if base.history_limit is None:
+            base = dataclasses.replace(
+                base, history_limit=DEFAULT_SERVICE_HISTORY_LIMIT
+            )
+        return base
+
+    def add_stream(
+        self, name: str, config: Optional[DetectorConfig] = None
+    ) -> OnlineBagDetector:
+        """Register a stream; restore it from its snapshot when one exists.
+
+        A stream recorded in the persisted quarantine manifest comes
+        back *parked* — its snapshot (taken at quarantine time) is
+        restored, but submissions are shed until
+        :meth:`restore_stream` un-parks it explicitly.
+        """
+        check_stream_name(name)
+        if name in self._streams:
+            raise ValidationError(f"stream {name!r} is already registered")
+        stream_config = self._service_config(config)
+        fingerprint = config_fingerprint(stream_config)
+        detector: Optional[OnlineBagDetector] = None
+        if self.snapshot_dir is not None:
+            state = load_stream_snapshot(self.snapshot_dir, name, fingerprint)
+            if state is not None:
+                detector = OnlineBagDetector.from_state_dict(state, stream_config)
+                self.n_restored += 1
+        if detector is None:
+            detector = OnlineBagDetector(stream_config)
+        stream = _StreamState(
+            name=name,
+            config=stream_config,
+            fingerprint=fingerprint,
+            detector=detector,
+            queue=deque(),
+        )
+        if name in self._quarantine:
+            stream.status = QUARANTINED
+            stream.quarantine_reason = self._quarantine[name]["reason"]
+        self._streams[name] = stream
+        return detector
+
+    def _stream(self, name: str) -> _StreamState:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown stream {name!r}; register it with add_stream() first"
+            ) from None
+
+    @property
+    def stream_names(self) -> List[str]:
+        """Names of the registered streams, in registration order."""
+        return list(self._streams)
+
+    def detector(self, name: str) -> OnlineBagDetector:
+        """The detector behind one stream (read access for history etc.)."""
+        return self._stream(name).detector
+
+    def status(self, name: str) -> str:
+        """``"active"`` or ``"quarantined"``."""
+        return self._stream(name).status
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+    def submit(self, name: str, bag: np.ndarray) -> bool:
+        """Enqueue one bag for a stream; returns whether it was accepted.
+
+        A quarantined stream sheds every submission (counted on
+        ``n_shed``).  A full queue follows the backpressure policy:
+        ``"block"`` processes one queued bag of this stream inline to
+        make room, ``"shed"`` drops the new bag, ``"error"`` raises
+        :class:`~repro.exceptions.BackpressureError`.
+        """
+        self._check_open()
+        stream = self._stream(name)
+        if stream.status == QUARANTINED:
+            self.n_shed += 1
+            return False
+        if len(stream.queue) >= self.policy.queue_capacity:
+            if self.policy.backpressure == "shed":
+                self.n_shed += 1
+                return False
+            if self.policy.backpressure == "error":
+                raise BackpressureError(
+                    f"ingest queue of stream {name!r} is full "
+                    f"({len(stream.queue)} bags); drain the supervisor or "
+                    "raise queue_capacity",
+                    stream=name,
+                    depth=len(stream.queue),
+                )
+            # "block": make room by processing the oldest queued bag now.
+            self._collect(stream, limit=1)
+            if stream.status == QUARANTINED:
+                self.n_shed += 1
+                return False
+        stream.queue.append(np.asarray(bag, dtype=float))
+        return True
+
+    def drain(
+        self, name: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Tuple[str, ScorePoint]]:
+        """Process queued bags; return the emitted ``(stream, point)`` pairs.
+
+        With ``name`` only that stream is drained; otherwise streams are
+        drained round-robin (one bag per stream per round) so no stream
+        can starve its siblings.  ``limit`` caps the number of bags
+        processed in this call.
+        """
+        self._check_open()
+        emitted: List[Tuple[str, ScorePoint]] = []
+        remaining = limit
+        if name is not None:
+            self._collect(self._stream(name), limit=remaining, into=emitted)
+            return emitted
+        while remaining is None or remaining > 0:
+            progressed = False
+            for stream in list(self._streams.values()):
+                if stream.status != ACTIVE or not stream.queue:
+                    continue
+                n = self._collect(stream, limit=1, into=emitted)
+                progressed = True
+                if remaining is not None:
+                    remaining -= n
+                    if remaining <= 0:
+                        return emitted
+            if not progressed:
+                break
+        return emitted
+
+    def _collect(
+        self,
+        stream: _StreamState,
+        limit: Optional[int] = None,
+        into: Optional[List[Tuple[str, ScorePoint]]] = None,
+    ) -> int:
+        """Process up to ``limit`` queued bags of one stream; count them."""
+        processed = 0
+        while stream.queue and stream.status == ACTIVE:
+            if limit is not None and processed >= limit:
+                break
+            point = self._process_one(stream)
+            processed += 1
+            if point is not None and into is not None:
+                into.append((stream.name, point))
+        return processed
+
+    def _process_one(self, stream: _StreamState) -> Optional[ScorePoint]:
+        """Push the oldest queued bag of one stream, applying the error policy."""
+        bag = stream.queue.popleft()
+        try:
+            point = stream.detector.push(bag)
+        except SolverError as exc:
+            return self._handle_stream_error(stream, bag, exc)
+        self._after_push(stream)
+        return point
+
+    def _handle_stream_error(
+        self, stream: _StreamState, bag: np.ndarray, exc: SolverError
+    ) -> Optional[ScorePoint]:
+        policy = self.policy.on_stream_error
+        if policy == "strict":
+            # The failed push left the detector untouched, so the bag
+            # goes back to the front of the queue and the next drain of
+            # this stream retries it.
+            stream.queue.appendleft(bag)
+            raise exc
+        if policy == "degraded":
+            warnings.warn(
+                f"stream {stream.name!r}: solver failed "
+                f"({exc}); consuming the bag masked — scores touching it "
+                "will be NaN",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            point = stream.detector.push_masked(bag)
+            self.n_degraded_points += 1
+            self._after_push(stream)
+            return point
+        # "quarantine": park the stream on its pre-failure state.
+        reason = f"{type(exc).__name__}: {exc}"
+        if self.snapshot_dir is not None:
+            self._write_snapshot(stream)
+        self._quarantine[stream.name] = {
+            "n_seen": stream.detector.n_seen,
+            "reason": reason,
+            "fingerprint": stream.fingerprint,
+        }
+        if self.snapshot_dir is not None:
+            save_quarantine_manifest(self.snapshot_dir, self._quarantine)
+        self.n_shed += len(stream.queue)
+        stream.queue.clear()
+        stream.status = QUARANTINED
+        stream.quarantine_reason = reason
+        self.n_quarantined += 1
+        warnings.warn(
+            f"stream {stream.name!r} quarantined after {reason}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return None
+
+    def _after_push(self, stream: _StreamState) -> None:
+        stream.pushes_since_snapshot += 1
+        cadence = self.policy.snapshot_every
+        if (
+            cadence is not None
+            and self.snapshot_dir is not None
+            and stream.pushes_since_snapshot >= cadence
+        ):
+            self._write_snapshot(stream)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def _write_snapshot(self, stream: _StreamState) -> None:
+        if self.snapshot_dir is None:
+            raise ValidationError(
+                "this StreamSupervisor has no snapshot_dir; configure one "
+                "to snapshot streams"
+            )
+        save_stream_snapshot(
+            self.snapshot_dir,
+            stream.name,
+            stream.detector.state_dict(),
+            stream.fingerprint,
+        )
+        stream.pushes_since_snapshot = 0
+        self.n_snapshots_written += 1
+
+    def snapshot(self, name: Optional[str] = None) -> None:
+        """Snapshot one stream (or, with ``name=None``, every stream)."""
+        streams = (
+            [self._stream(name)] if name is not None else list(self._streams.values())
+        )
+        for stream in streams:
+            self._write_snapshot(stream)
+
+    def restore_stream(self, name: str) -> OnlineBagDetector:
+        """Un-park a quarantined stream from its last snapshot.
+
+        The stream's detector is rebuilt from its snapshot (falling back
+        to the parked in-memory detector when no snapshot directory is
+        configured), its quarantine manifest entry is cleared, and it
+        accepts submissions again.
+        """
+        stream = self._stream(name)
+        if self.snapshot_dir is not None:
+            state = load_stream_snapshot(self.snapshot_dir, name, stream.fingerprint)
+            if state is not None:
+                stream.detector = OnlineBagDetector.from_state_dict(
+                    state, stream.config
+                )
+        stream.status = ACTIVE
+        stream.quarantine_reason = None
+        stream.pushes_since_snapshot = 0
+        if self._quarantine.pop(name, None) is not None and self.snapshot_dir is not None:
+            save_quarantine_manifest(self.snapshot_dir, self._quarantine)
+        self.n_restored += 1
+        return stream.detector
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def metrics(self) -> Dict[str, Any]:
+        """Robustness counters and per-stream queue depths."""
+        return {
+            "n_streams": len(self._streams),
+            "n_shed": self.n_shed,
+            "n_quarantined": self.n_quarantined,
+            "n_restored": self.n_restored,
+            "n_degraded_points": self.n_degraded_points,
+            "n_snapshots_written": self.n_snapshots_written,
+            "queue_depths": {
+                name: len(stream.queue) for name, stream in self._streams.items()
+            },
+        }
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValidationError("this StreamSupervisor has been closed")
+
+    def close(self) -> None:
+        """Snapshot active streams (when persisting) and close all detectors.
+
+        Idempotent; safe to call from ``finally`` blocks and
+        ``__exit__``.  Detector close is itself idempotent, so a stream
+        whose detector was closed directly does not break teardown.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for stream in self._streams.values():
+            if self.snapshot_dir is not None and stream.status == ACTIVE:
+                self._write_snapshot(stream)
+            stream.detector.close()
+
+    def __enter__(self) -> "StreamSupervisor":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

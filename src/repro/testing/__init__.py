@@ -17,6 +17,7 @@ from .faults import (
     inject_worker_hang,
     match_first_row,
     tamper_checkpoint_values,
+    tamper_snapshot_payload,
     truncate_checkpoint,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "inject_worker_hang",
     "match_first_row",
     "tamper_checkpoint_values",
+    "tamper_snapshot_payload",
     "truncate_checkpoint",
 ]

@@ -371,12 +371,42 @@ def tamper_checkpoint_values(path: Union[str, Path], *, delta: float = 1.0) -> N
     layer's own CRC is recomputed by the rewrite.
     """
     path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
+    # Deliberately skips checksum/fingerprint validation: this *writes*
+    # the corruption the validating loader must catch.
+    with np.load(path, allow_pickle=False) as archive:  # reprolint: disable=RL007
         entries = {name: np.asarray(archive[name]) for name in archive.files}
     values = np.asarray(entries["values"], dtype=float).copy()
     if values.size == 0:
         raise ValueError(f"{path} holds no values; nothing to tamper with")
     values[0] += delta
     entries["values"] = values
+    with open(path, "wb") as handle:
+        np.savez(handle, **entries)
+
+
+def tamper_snapshot_payload(
+    path: Union[str, Path], *, key: str = "window_matrix", delta: float = 1.0
+) -> None:
+    """Rewrite one payload array of a stream snapshot, keeping its stamp.
+
+    The stream-snapshot analogue of :func:`tamper_checkpoint_values`: the
+    archive stays perfectly readable and keeps its recorded format
+    version, fingerprint and checksum, but the named payload array
+    (default: the rolling window matrix) silently differs — the
+    corruption class only the sha256 payload checksum of
+    :func:`repro.service.snapshots.load_stream_snapshot` can catch.
+    """
+    path = Path(path)
+    # Deliberately skips checksum/fingerprint validation: this *writes*
+    # the corruption the validating loader must catch.
+    with np.load(path, allow_pickle=False) as archive:  # reprolint: disable=RL007
+        entries = {name: np.asarray(archive[name]) for name in archive.files}
+    if key not in entries:
+        raise ValueError(f"{path} has no payload array {key!r}")
+    values = np.asarray(entries[key], dtype=float).copy()
+    if values.size == 0:
+        raise ValueError(f"{path} holds no {key!r} values; nothing to tamper with")
+    values.flat[0] += delta
+    entries[key] = values
     with open(path, "wb") as handle:
         np.savez(handle, **entries)

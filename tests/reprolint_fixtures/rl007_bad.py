@@ -1,0 +1,25 @@
+"""Snapshot-discipline breakage: stamped payload reads that skip validation."""
+
+import numpy as np
+
+
+def load_stream_snapshot(path):
+    # Named as a snapshot loader but trusts the file blindly: neither the
+    # payload checksum nor the config fingerprint is consulted.
+    with np.load(path, allow_pickle=False) as archive:
+        return np.asarray(archive["payload"])
+
+
+def resume_from_checkpoint(directory, shard_id):
+    # Checks the fingerprint but never the payload checksum, so silent
+    # on-disk corruption flows straight into the resumed run.
+    archive = np.load(directory / f"shard_{shard_id}.npz", allow_pickle=False)
+    if str(archive["fingerprint"]) != "expected":
+        raise RuntimeError("stale")
+    return np.asarray(archive["values"])
+
+
+def peek(snapshot_path):
+    # The argument names the file as a snapshot even though the function
+    # name does not.
+    return np.load(snapshot_path, allow_pickle=False)["payload"]

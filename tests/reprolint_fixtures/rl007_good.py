@@ -1,0 +1,40 @@
+"""Snapshot discipline done right: stamped reads validate their stamps."""
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+
+
+def load_stream_snapshot(path, fingerprint):
+    with np.load(path, allow_pickle=False) as archive:
+        stamp = str(archive["fingerprint"])
+        checksum = str(archive["checksum"])
+        payload = np.asarray(archive["payload"])
+    if stamp != fingerprint:
+        raise CheckpointError(f"{path}: expected fingerprint {fingerprint}, found {stamp}")
+    if checksum != compute_checksum(payload):
+        raise CheckpointError(f"{path}: payload checksum mismatch")
+    return payload
+
+
+def read_checkpoint(path, expected):
+    archive = np.load(path, allow_pickle=False)
+    if str(archive["fingerprint"]) != expected.fingerprint:
+        raise CheckpointError(f"{path} is stale")
+    verify_checksum(archive)
+    return np.asarray(archive["values"])
+
+
+def compute_checksum(payload):
+    return str(np.asarray(payload, dtype=float).sum())
+
+
+def verify_checksum(archive):
+    found = compute_checksum(archive["values"])
+    if str(archive["checksum"]) != found:
+        raise CheckpointError(f"corrupt payload: checksum {found} does not match")
+
+
+def load_plain_results(path):
+    # Not snapshot-related: an ordinary data file needs no stamps.
+    return np.load(path, allow_pickle=False)

@@ -38,7 +38,7 @@ from tools.reprolint.project import CONFIG_INTERNAL_FIELDS, DEFAULT_REGISTRY
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "reprolint_fixtures"
 
-RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
 
 
 def lint_fixture(name: str):
@@ -112,6 +112,19 @@ def test_rl006_catches_each_breakage_mode():
     assert "hand-rolled retry pacing" in messages  # ad-hoc time.sleep loop
     assert "(SolverError)" in messages  # swallowed by name
     assert "(Exception)" in messages  # swallowed behind a broad handler
+
+
+def test_rl007_catches_each_breakage_mode():
+    report = lint_fixture("rl007_bad.py")
+    messages = [v.message for v in report.violations]
+    assert len(report.violations) == 3
+    # A loader that validates nothing reports both missing stamps.
+    assert any("checksum or fingerprint" in m for m in messages)
+    # A loader that only checks the fingerprint reports just the checksum.
+    assert any(
+        "without checksum validation" in m and "fingerprint" not in m.split(";")[0]
+        for m in messages
+    )
 
 
 def test_rl005_internal_allowlist_is_documented():

@@ -109,3 +109,16 @@ CONFIG_CLASS: Final[str] = "DetectorConfig"
 CONFIG_INTERNAL_FIELDS: Final[FrozenSet[str]] = frozenset(
     {"histogram_range", "estimator"}
 )
+
+#: Identifier fragments that mark a function as handling persisted
+#: detector state (snapshot-discipline, RL007).  An ``np.load`` whose
+#: enclosing function name — or whose argument expressions — mention one
+#: of these is reading a stamped payload and must validate it.
+SNAPSHOT_TERMS: Final[FrozenSet[str]] = frozenset({"snapshot", "checkpoint"})
+
+#: Validation evidence snapshot-discipline (RL007) requires around a
+#: stamped-payload read: both the payload checksum and the config/plan
+#: fingerprint must be consulted before the data is trusted.
+SNAPSHOT_VALIDATION_TERMS: Final[FrozenSet[str]] = frozenset(
+    {"checksum", "fingerprint"}
+)

@@ -6,6 +6,7 @@ from .pool_safety import PoolSafetyRule
 from .registry_consistency import RegistryConsistencyRule
 from .retry_discipline import RetryDisciplineRule
 from .rng_discipline import RngDisciplineRule
+from .snapshot_discipline import SnapshotDisciplineRule
 
 #: All rules in code order (RL001 …).
 RULES = (
@@ -15,6 +16,7 @@ RULES = (
     ExceptionContextRule,
     ConfigPlumbingRule,
     RetryDisciplineRule,
+    SnapshotDisciplineRule,
 )
 
 __all__ = [
@@ -25,4 +27,5 @@ __all__ = [
     "ExceptionContextRule",
     "ConfigPlumbingRule",
     "RetryDisciplineRule",
+    "SnapshotDisciplineRule",
 ]
