@@ -23,7 +23,15 @@ Sections:
   (dropped without ``close()``), a fresh supervisor on the same
   directory restores every stream from its last snapshot, and the
   remaining bags are replayed; the recombined history must match the
-  uninterrupted run at 1e-12.
+  uninterrupted run at 1e-12;
+* **batched drain** — a wide replay (``--batch-streams``, default 64)
+  on each batched solver backend, drained sequentially (one solve per
+  stream per round) and through the cross-stream batched scheduler
+  (``SupervisorPolicy(batch_drain=True)``: one stacked solve per
+  round).  Full mode gates the batched speedup at ``--batch-speedup``
+  (default 2x); parity between the two drains is gated at 1e-12 on the
+  exact ``linprog_batch`` backend (1e-8 on the approximate
+  ``sinkhorn_batch``) in both modes.
 
 Run standalone::
 
@@ -72,6 +80,27 @@ def stream_config(index, seed):
         tau_test=3,
         signature_method="kmeans",
         n_clusters=4,
+        n_bootstrap=20,
+        random_state=seed + index,
+    )
+
+
+def batched_stream_config(index, seed, backend):
+    """A stream config for the batched-drain section.
+
+    Histogram signatures on a common grid are the batched backends'
+    stacking case: pairs across streams land in shared support groups,
+    so the cross-stream drain runs one stacked solve where the
+    sequential drain runs one per stream.
+    """
+    return DetectorConfig(
+        tau=3,
+        tau_test=3,
+        signature_method="histogram",
+        bins=3,
+        histogram_range=[(-6.0, 10.0), (-6.0, 10.0)],
+        emd_backend=backend,
+        sinkhorn_tol=1e-6,
         n_bootstrap=20,
         random_state=seed + index,
     )
@@ -150,6 +179,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--snapshot-overhead", type=float, default=1.00,
         help="maximum allowed relative snapshot overhead in full mode",
+    )
+    parser.add_argument(
+        "--batch-streams", type=int, default=64,
+        help="stream count of the batched-drain section",
+    )
+    parser.add_argument(
+        "--batch-bags", type=int, default=12,
+        help="bags per stream in the batched-drain section",
+    )
+    parser.add_argument(
+        "--batch-speedup", type=float, default=2.0,
+        help="minimum batched-over-sequential drain speedup enforced in "
+        "full mode, per batched backend",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -265,6 +307,54 @@ def main(argv=None) -> int:
     print(f"restore-and-finish seconds       = {recovery_time:.3f}")
     print(f"max history |recovered - indep|  = {recovered_diff:.2e}")
 
+    # ------------------------------------------------------------------ #
+    # Batched-drain section: sequential vs one stacked solve per round.
+    # ------------------------------------------------------------------ #
+    batch_streams = 4 if args.quick else args.batch_streams
+    batch_bags = 8 if args.quick else args.batch_bags
+    batch_bag_sets = make_stream_bags(batch_streams, batch_bags, args.seed + 1)
+    batch_results = {}
+    batch_parity_ok = True
+    batch_speedup_ok = True
+    print(
+        f"\nbatched drain: {batch_streams} streams x {batch_bags} bags, "
+        "sequential vs cross-stream stacked solves"
+    )
+    print(f"{'backend':<16}{'seq s':>9}{'batched s':>11}{'speedup':>9}{'parity':>11}")
+    for backend in ("linprog_batch", "sinkhorn_batch"):
+        batch_configs = [
+            batched_stream_config(i, args.seed + 200, backend)
+            for i in range(batch_streams)
+        ]
+        sequential_time, (_, _, sequential_hist) = timed(
+            lambda configs=batch_configs: run_supervised(
+                configs, batch_bag_sets, plain_policy
+            )
+        )
+        batched_time, (_, _, batched_hist) = timed(
+            lambda configs=batch_configs: run_supervised(
+                configs, batch_bag_sets, SupervisorPolicy(batch_drain=True)
+            )
+        )
+        diff = history_parity(batched_hist, sequential_hist)
+        speedup = sequential_time / batched_time if batched_time > 0 else float("inf")
+        tol = PARITY_TOL if backend == "linprog_batch" else 1e-8
+        if diff > tol:
+            batch_parity_ok = False
+        if not args.quick and speedup < args.batch_speedup:
+            batch_speedup_ok = False
+        batch_results[backend] = {
+            "sequential_seconds": sequential_time,
+            "batched_seconds": batched_time,
+            "speedup": speedup,
+            "parity_diff": diff,
+            "parity_tol": tol,
+        }
+        print(
+            f"{backend:<16}{sequential_time:>9.3f}{batched_time:>11.3f}"
+            f"{speedup:>8.2f}x{diff:>11.2e}"
+        )
+
     max_diff = max(supervised_diff, snapshot_diff, recovered_diff)
     parity_ok = max_diff <= PARITY_TOL
     restored_ok = n_restored == n_streams
@@ -293,8 +383,17 @@ def main(argv=None) -> int:
             "overhead_limit": args.overhead,
             "snapshot_overhead_limit": args.snapshot_overhead,
             "overhead_enforced": not args.quick,
+            "batch_streams": batch_streams,
+            "batch_bags": batch_bags,
+            "batch_speedup_limit": args.batch_speedup,
+            "batch_drain": batch_results,
         },
-        passed=parity_ok and restored_ok and overhead_ok and snapshot_ok,
+        passed=parity_ok
+        and restored_ok
+        and overhead_ok
+        and snapshot_ok
+        and batch_parity_ok
+        and batch_speedup_ok,
     )
 
     if not parity_ok:
@@ -318,10 +417,31 @@ def main(argv=None) -> int:
             f"{args.snapshot_overhead * 100:.0f}%"
         )
         return 1
+    if not batch_parity_ok:
+        worst = {
+            backend: result["parity_diff"]
+            for backend, result in batch_results.items()
+        }
+        print(f"FAIL: batched drain disagrees with sequential drain: {worst}")
+        return 1
+    if not batch_speedup_ok:
+        speedups = {
+            backend: round(result["speedup"], 2)
+            for backend, result in batch_results.items()
+        }
+        print(
+            f"FAIL: batched drain speedup {speedups} below "
+            f"{args.batch_speedup:.1f}x"
+        )
+        return 1
+    batch_summary = ", ".join(
+        f"{backend} {result['speedup']:.1f}x"
+        for backend, result in batch_results.items()
+    )
     print(
         f"OK: supervision {overhead * 100:+.1f}%, snapshots "
         f"{snapshot_overhead * 100:+.1f}%, {n_restored} streams recovered to "
-        f"{max_diff:.2e} parity"
+        f"{max_diff:.2e} parity, batched drain {batch_summary}"
     )
     return 0
 

@@ -28,8 +28,10 @@ round-robin across ``--streams`` named online detector streams running
 behind bounded ingest queues, with snapshot/restore (``--snapshot-dir``
 / ``--snapshot-every``), a per-stream fault-isolation policy
 (``--on-stream-error``) and a backpressure policy (``--backpressure``).
-Scores are printed as CSV with a leading ``stream`` column; the
-supervisor's robustness metrics go to standard error.
+``--batch-drain`` stacks every stream's pending solves into one
+cross-stream batched solve per drain round.  Scores are printed as CSV
+with a leading ``stream`` column; the supervisor's robustness metrics go
+to standard error.
 """
 
 from __future__ import annotations
@@ -305,6 +307,13 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="bound of each stream's ingest queue",
     )
     parser.add_argument(
+        "--batch-drain", action="store_true",
+        help="drain all streams through one cross-stream stacked solve per "
+        "round instead of one solve per stream (bit-identical scores on "
+        "the exact backends; pairs with --emd-backend linprog_batch or "
+        "sinkhorn_batch)",
+    )
+    parser.add_argument(
         "--history-limit", type=int, default=None,
         help="retained score points per stream (default: the service's "
         "bounded default)",
@@ -329,6 +338,7 @@ def serve_replay_main(argv: Optional[Sequence[str]] = None) -> int:
         backpressure=args.backpressure,
         queue_capacity=args.queue_capacity,
         snapshot_every=args.snapshot_every,
+        batch_drain=args.batch_drain,
     )
 
     def stream_config(index: int) -> DetectorConfig:
@@ -381,6 +391,9 @@ def serve_replay_main(argv: Optional[Sequence[str]] = None) -> int:
     print(
         "serve-replay: "
         f"streams={metrics['n_streams']} shed={metrics['n_shed']} "
+        f"(backpressure={metrics['n_shed_backpressure']} "
+        f"quarantined={metrics['n_shed_quarantined']} "
+        f"on_close={metrics['n_discarded_on_close']}) "
         f"quarantined={metrics['n_quarantined']} "
         f"restored={metrics['n_restored']} "
         f"degraded_points={metrics['n_degraded_points']} "

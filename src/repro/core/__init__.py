@@ -3,7 +3,7 @@
 from .bag import Bag, BagSequence
 from .config import DetectorConfig
 from .detector import BagChangePointDetector
-from .online import OnlineBagDetector
+from .online import OnlineBagDetector, PendingPush
 from .results import DetectionResult, ScorePoint
 from .score_engine import ScoreEngine
 from .scores import (
@@ -25,6 +25,7 @@ __all__ = [
     "DetectorConfig",
     "BagChangePointDetector",
     "OnlineBagDetector",
+    "PendingPush",
     "DetectionResult",
     "ScorePoint",
     "Segment",

@@ -42,6 +42,7 @@ Robustness contract (the streaming service builds on these):
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
@@ -66,6 +67,47 @@ from .thresholding import AdaptiveThreshold
 #: Version of the :meth:`OnlineBagDetector.state_dict` layout; bumped on
 #: layout changes so a stale snapshot is rejected instead of misread.
 STATE_FORMAT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class PendingPush:
+    """The solve-ready first half of a :meth:`OnlineBagDetector.push`.
+
+    Produced by :meth:`OnlineBagDetector.prepare`: the arriving bag has
+    been quantised into its signature and the ``(older, new)`` signature
+    pairs whose distances the push needs have been enumerated, but *no*
+    detector state has been mutated yet (only the shared random
+    generator has advanced past the signature-construction draws, which
+    :meth:`OnlineBagDetector.rollback` rewinds).  A caller — typically
+    :class:`repro.service.StreamSupervisor`'s cross-stream batched
+    drain — solves :attr:`pairs` however it likes (stacked with other
+    streams' pairs, per-pair, masked) and hands the distances to
+    :meth:`OnlineBagDetector.commit`.
+
+    Attributes
+    ----------
+    index:
+        The arriving bag's stream index (``detector.n_seen`` at
+        :meth:`~OnlineBagDetector.prepare` time).  Commit and rollback
+        validate it, so a stale or doubly-committed pending push is an
+        error rather than silent corruption.
+    signature:
+        The quantised arriving bag.
+    pairs:
+        The ``(older, signature)`` pairs needing distances, oldest
+        first — exactly the order :meth:`~OnlineBagDetector.push` would
+        solve them in, so scattering externally computed distances
+        commits bit-identically.
+    rng_state:
+        The generator's bit-generator state captured *before* the
+        signature build; :meth:`~OnlineBagDetector.rollback` restores
+        it so a retried push replays identical draws.
+    """
+
+    index: int
+    signature: Signature
+    pairs: Tuple[Tuple[Signature, Signature], ...]
+    rng_state: Dict[str, Any]
 
 
 class OnlineBagDetector:
@@ -171,31 +213,29 @@ class OnlineBagDetector:
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
-    def _extend_window_matrix(self, signature: Signature, *, masked: bool = False) -> None:
-        """Slide the rolling matrix and add the arriving bag's distances.
+    def _pending_pairs(self, signature: Signature) -> Tuple[Tuple[Signature, Signature], ...]:
+        """The ``(older, new)`` pairs an arriving signature needs solved.
 
-        Computes exactly ``len(window) − 1`` new EMD values (τ + τ′ − 1
-        once the window is full); every other entry of the matrix is
-        reused from the previous step.  With ``masked=True`` no solve
-        happens and the arriving distances enter as NaN (the degraded
-        path for a bag whose solve already failed).
+        Exactly ``len(window) − 1`` pairs (τ + τ′ − 1 once the window is
+        full); when the window is full its oldest signature is about to
+        leave and needs no distance.  Older signature first in each
+        pair, matching the offline band's (i, j) ordering so both paths
+        agree bit-for-bit.
+        """
+        staying = list(self._signatures)
+        if len(staying) == self.config.window_span:
+            staying = staying[1:]
+        return tuple((entry[1], signature) for entry in staying)
+
+    def _apply_distances(self, signature: Signature, new_distances: np.ndarray) -> None:
+        """Slide the rolling matrix and scatter the arriving distances in.
+
+        The mutation half of a push: every entry except the arriving
+        row/column is reused from the previous step.  NaN distances (the
+        masked/degraded path) propagate into the log matrix, where
+        :meth:`_emit` detects them.
         """
         span = self.config.window_span
-        # Compute the arriving bag's distances before touching any state,
-        # so a failed solve leaves the detector consistent and the push
-        # retryable.  When the window is full its oldest signature is about
-        # to leave and needs no distance.  Older signature first in each
-        # pair, matching the offline band's (i, j) ordering so both paths
-        # agree bit-for-bit.
-        staying = list(self._signatures)
-        if len(staying) == span:
-            staying = staying[1:]
-        if masked:
-            new_distances = np.full(len(staying), np.nan)
-        else:
-            new_distances = self._engine.compute_pairs(
-                [(entry[1], signature) for entry in staying]
-            )
         if len(self._signatures) == span:
             # The oldest signature leaves: shift the kept blocks up-left.
             self._window_matrix[:-1, :-1] = self._window_matrix[1:, 1:]
@@ -273,13 +313,24 @@ class OnlineBagDetector:
             self._history_result = DetectionResult(points=list(self._history))
         return self._history_result
 
-    def push(self, bag: np.ndarray) -> Optional[ScorePoint]:
-        """Consume one bag; return a score point once the window is full.
+    def prepare(self, bag: np.ndarray) -> PendingPush:
+        """Phase one of a push: quantise the bag, enumerate its pairs.
 
-        A :class:`~repro.exceptions.SolverError` raised by the arriving
-        bag's distance solves leaves the detector untouched — including
-        the random generator, which is rewound past the signature
-        construction draws — so the same push can simply be retried.
+        Returns a :class:`PendingPush` holding the arriving signature
+        and the ``(older, new)`` signature pairs whose distances the
+        push needs — *without* mutating any detector state (the rolling
+        matrices, window and counter are untouched; only the shared
+        random generator has advanced past the signature-construction
+        draws, and the pending push remembers how to rewind it).  Solve
+        the pairs — in any batch, stacked with other detectors' pairs —
+        and hand the distances to :meth:`commit`; a caller abandoning
+        the push (e.g. because the external solve failed) must call
+        :meth:`rollback` instead.
+
+        A :class:`~repro.exceptions.SolverError` raised by the signature
+        build itself (stochastic quantisers can solve internally) rewinds
+        the generator before propagating, so ``prepare`` keeps the same
+        retryability contract as :meth:`push`.
         """
         self._check_open()
         index = self._next_index
@@ -287,15 +338,83 @@ class OnlineBagDetector:
         rng_state = self._rng.bit_generator.state
         try:
             signature = self._builder.build(data, label=index)
-            self._extend_window_matrix(signature)
         except SolverError:
-            # The signature build may have consumed generator draws
-            # (stochastic quantisers); rewind so a retried push replays
-            # the identical draws and converges with an unfaulted run.
             self._rng.bit_generator.state = rng_state
             raise
+        return PendingPush(
+            index=index,
+            signature=signature,
+            pairs=self._pending_pairs(signature),
+            rng_state=rng_state,
+        )
+
+    def _check_pending(self, pending: PendingPush) -> None:
+        if pending.index != self._next_index:
+            raise ValidationError(
+                f"pending push is for bag index {pending.index}, but this "
+                f"detector is at index {self._next_index}; each prepared "
+                "push must be committed or rolled back exactly once, "
+                "before the next prepare()"
+            )
+
+    def commit(
+        self, pending: PendingPush, distances: np.ndarray
+    ) -> Optional[ScorePoint]:
+        """Phase two of a push: scatter solved distances, score, record.
+
+        ``distances[k]`` must be the EMD of ``pending.pairs[k]`` (NaN
+        entries take the masked/degraded path).  Committing a prepared
+        push with the distances its own engine would have computed is
+        bit-identical to :meth:`push` — same matrix updates, same
+        bootstrap draws, same emitted point.  A stale pending push (the
+        detector has moved on, or it was already committed) is rejected
+        with :class:`~repro.exceptions.ValidationError`.
+        """
+        self._check_open()
+        self._check_pending(pending)
+        values = np.asarray(distances, dtype=float)
+        if values.shape != (len(pending.pairs),):
+            raise ValidationError(
+                f"expected {len(pending.pairs)} distances for this pending "
+                f"push, got array of shape {values.shape}"
+            )
+        self._apply_distances(pending.signature, values)
         self._next_index += 1
         return self._emit()
+
+    def rollback(self, pending: PendingPush) -> None:
+        """Abandon a prepared push, rewinding the generator draws.
+
+        Restores the random generator to its pre-:meth:`prepare` state
+        (the signature build may have consumed draws), so re-preparing
+        the same bag replays identical draws and the stream stays
+        convergent with an unfaulted run.  No other state needs undoing —
+        :meth:`prepare` mutates nothing else.
+        """
+        self._check_open()
+        self._check_pending(pending)
+        self._rng.bit_generator.state = pending.rng_state
+
+    def push(self, bag: np.ndarray) -> Optional[ScorePoint]:
+        """Consume one bag; return a score point once the window is full.
+
+        Exactly :meth:`prepare` → solve → :meth:`commit` on the
+        detector's own engine.  A
+        :class:`~repro.exceptions.SolverError` raised by the arriving
+        bag's distance solves leaves the detector untouched — including
+        the random generator, which is rewound past the signature
+        construction draws — so the same push can simply be retried.
+        """
+        pending = self.prepare(bag)
+        try:
+            distances = self._engine.compute_pairs(list(pending.pairs))
+        except SolverError:
+            # Rewind the signature-construction draws so a retried push
+            # replays the identical draws and converges with an
+            # unfaulted run.
+            self.rollback(pending)
+            raise
+        return self.commit(pending, distances)
 
     def push_masked(self, bag: np.ndarray) -> Optional[ScorePoint]:
         """Consume one bag *without solving*: its distances enter as NaN.
@@ -308,12 +427,8 @@ class OnlineBagDetector:
         unfaulted run (the signature draws and bootstrap draws are
         consumed identically either way).
         """
-        self._check_open()
-        index = self._next_index
-        signature = self._builder.build(np.asarray(bag, dtype=float), label=index)
-        self._extend_window_matrix(signature, masked=True)
-        self._next_index += 1
-        return self._emit()
+        pending = self.prepare(bag)
+        return self.commit(pending, np.full(len(pending.pairs), np.nan))
 
     def push_many(self, bags: Any) -> List[ScorePoint]:
         """Push a sequence of bags, returning the score points that were emitted."""

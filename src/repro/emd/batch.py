@@ -1008,6 +1008,27 @@ class PairwiseEMDEngine:
         if irregular:
             self._solve_irregular_singles(pairs, irregular, out)
 
+    def solve_pairs(self, pairs: Sequence[Tuple[Signature, Signature]]) -> np.ndarray:
+        """Distances for externally-supplied signature pairs, in input order.
+
+        The entry point for callers that gather pairs from *many*
+        sources — e.g. :class:`repro.service.StreamSupervisor`'s
+        cross-stream batched drain, which stacks the pending pairs of
+        every active stream into one call so the batched backends solve
+        a single support group per round instead of one per stream.
+        Routing is identical to :meth:`compute_pairs` (same
+        support-signature grouping, union embedding, fast paths and
+        failure translation), and because every routing decision is
+        pair-local the returned distances do not depend on which other
+        pairs share the batch — the invariant that makes a cross-stream
+        stacked solve commit bit-identically to per-stream solves on the
+        exact backends.  A failing batched group re-raises
+        :class:`~repro.exceptions.SolverError` with
+        ``pair_indices`` in *this call's* positions, so callers can map
+        failures back to whichever source contributed each pair.
+        """
+        return self.compute_pairs(pairs)
+
     def distances_from(
         self, signature: Signature, others: Sequence[Signature]
     ) -> np.ndarray:

@@ -35,6 +35,16 @@ reacts to trouble:
   ``"error"``
       A :class:`~repro.exceptions.BackpressureError` naming the stream
       and its queue depth is raised.
+
+Orthogonal to both axes, ``batch_drain`` switches the supervisor's
+round-robin drain to the **cross-stream batched** scheduler: each round
+collects one pending bag per active stream, stacks every (new, window)
+signature pair across streams into one
+:meth:`~repro.emd.PairwiseEMDEngine.solve_pairs` call, then commits each
+stream independently.  Distances are pair-local in the engine's routing,
+so the batched drain commits bit-identically to the sequential drain on
+the exact backends while paying the batched solver's setup cost once per
+round instead of once per stream.
 """
 
 from __future__ import annotations
@@ -76,12 +86,20 @@ class SupervisorPolicy:
         cadence snapshots — streams are then only snapshotted on
         :meth:`~repro.service.StreamSupervisor.snapshot`, quarantine and
         :meth:`~repro.service.StreamSupervisor.close`.
+    batch_drain:
+        Route round-robin :meth:`~repro.service.StreamSupervisor.drain`
+        through the cross-stream batched scheduler: one stacked solve
+        per round across all active streams instead of one solve per
+        stream (see module docstring).  Single-stream drains
+        (``drain(name=...)``) and inline backpressure drains stay
+        sequential either way.
     """
 
     on_stream_error: StreamErrorPolicyName = "strict"
     backpressure: BackpressurePolicyName = "block"
     queue_capacity: int = 64
     snapshot_every: Optional[int] = None
+    batch_drain: bool = False
 
     def __post_init__(self) -> None:
         if self.on_stream_error not in STREAM_ERROR_POLICIES:
@@ -104,4 +122,8 @@ class SupervisorPolicy:
             raise ConfigurationError(
                 f"snapshot_every must be a positive integer or None, "
                 f"got {self.snapshot_every!r}"
+            )
+        if not isinstance(self.batch_drain, bool):
+            raise ConfigurationError(
+                f"batch_drain must be a bool, got {self.batch_drain!r}"
             )

@@ -37,9 +37,12 @@ from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..core.config import DetectorConfig
-from ..core.online import OnlineBagDetector
+from ..core.online import OnlineBagDetector, PendingPush
 from ..core.results import ScorePoint
+from ..emd.batch import PairwiseEMDEngine
+from ..emd.sharding import EngineSettings
 from ..exceptions import BackpressureError, SolverError, ValidationError
+from ..signatures import Signature
 from .policies import DEFAULT_SERVICE_HISTORY_LIMIT, SupervisorPolicy
 from .snapshots import (
     check_stream_name,
@@ -62,6 +65,7 @@ class _StreamState:
     name: str
     config: DetectorConfig
     fingerprint: str
+    engine_key: str
     detector: OnlineBagDetector
     queue: Deque[np.ndarray]
     status: str = ACTIVE
@@ -105,11 +109,38 @@ class StreamSupervisor:
             else {}
         )
         self._closed = False
-        self.n_shed = 0
+        self.n_shed_backpressure = 0
+        self.n_shed_quarantined = 0
+        self.n_discarded_on_close = 0
         self.n_quarantined = 0
         self.n_restored = 0
         self.n_degraded_points = 0
         self.n_snapshots_written = 0
+        #: Points emitted outside a drain() call (inline backpressure
+        #: drains, batched rounds aborted by a strict error) — returned,
+        #: and cleared, by the next drain().
+        self._pending_emissions: List[Tuple[str, ScorePoint]] = []
+        #: Shared solve engines of the batched drain, keyed by the
+        #: solver-relevant EngineSettings fingerprint of the stream
+        #: configs — streams with identical solver settings share one
+        #: engine (and therefore one stacked solve per round).
+        self._batch_engines: Dict[str, PairwiseEMDEngine] = {}
+
+    @property
+    def n_shed(self) -> int:
+        """Total dropped bags — sum of the per-cause shed counters.
+
+        Kept for compatibility; prefer the per-cause counters
+        ``n_shed_backpressure`` (shed-policy drops on a full queue),
+        ``n_shed_quarantined`` (submissions to — and queues cleared
+        by — quarantine) and ``n_discarded_on_close`` (queued bags
+        discarded by :meth:`close`).
+        """
+        return (
+            self.n_shed_backpressure
+            + self.n_shed_quarantined
+            + self.n_discarded_on_close
+        )
 
     # ------------------------------------------------------------------ #
     # Stream management
@@ -149,6 +180,7 @@ class StreamSupervisor:
             name=name,
             config=stream_config,
             fingerprint=fingerprint,
+            engine_key=EngineSettings.from_config(stream_config).fingerprint(),
             detector=detector,
             queue=deque(),
         )
@@ -186,19 +218,21 @@ class StreamSupervisor:
         """Enqueue one bag for a stream; returns whether it was accepted.
 
         A quarantined stream sheds every submission (counted on
-        ``n_shed``).  A full queue follows the backpressure policy:
-        ``"block"`` processes one queued bag of this stream inline to
-        make room, ``"shed"`` drops the new bag, ``"error"`` raises
+        ``n_shed_quarantined``).  A full queue follows the backpressure
+        policy: ``"block"`` processes one queued bag of this stream
+        inline to make room — any point that push emits is buffered and
+        delivered by the next :meth:`drain` — ``"shed"`` drops the new
+        bag (counted on ``n_shed_backpressure``), ``"error"`` raises
         :class:`~repro.exceptions.BackpressureError`.
         """
         self._check_open()
         stream = self._stream(name)
         if stream.status == QUARANTINED:
-            self.n_shed += 1
+            self.n_shed_quarantined += 1
             return False
         if len(stream.queue) >= self.policy.queue_capacity:
             if self.policy.backpressure == "shed":
-                self.n_shed += 1
+                self.n_shed_backpressure += 1
                 return False
             if self.policy.backpressure == "error":
                 raise BackpressureError(
@@ -209,9 +243,12 @@ class StreamSupervisor:
                     depth=len(stream.queue),
                 )
             # "block": make room by processing the oldest queued bag now.
-            self._collect(stream, limit=1)
+            # The emitted point (possibly an alarm) must not be dropped
+            # on the floor just because it surfaced outside a drain()
+            # call — buffer it for the next drain.
+            self._collect(stream, limit=1, into=self._pending_emissions)
             if stream.status == QUARANTINED:
-                self.n_shed += 1
+                self.n_shed_quarantined += 1
                 return False
         stream.queue.append(np.asarray(bag, dtype=float))
         return True
@@ -221,16 +258,39 @@ class StreamSupervisor:
     ) -> List[Tuple[str, ScorePoint]]:
         """Process queued bags; return the emitted ``(stream, point)`` pairs.
 
+        Points that were emitted *between* drains — by inline
+        backpressure pushes under the ``"block"`` policy, or by a
+        batched round aborted by a strict-mode error — are returned
+        first (and their buffer cleared), whatever ``name`` says.
+
         With ``name`` only that stream is drained; otherwise streams are
         drained round-robin (one bag per stream per round) so no stream
-        can starve its siblings.  ``limit`` caps the number of bags
-        processed in this call.
+        can starve its siblings.  When the policy's ``batch_drain`` is
+        on, the round-robin path runs each round as one cross-stream
+        stacked solve (see :meth:`drain_batched`); single-stream drains
+        stay sequential.
+
+        ``limit`` caps the number of bags **attempted** in this call,
+        not the number of points emitted: a bag that warms up a window
+        (no point yet), is consumed masked, or faults its stream into
+        quarantine still consumes one unit of ``limit``.  Counting
+        attempts keeps a faulting stream from monopolising the drain —
+        with emission-counting, a stream that never emits would pin the
+        round-robin loop on itself forever.  Buffered between-drain
+        points do not consume ``limit`` (their bags were already
+        processed when they were buffered).
         """
         self._check_open()
         emitted: List[Tuple[str, ScorePoint]] = []
+        if self._pending_emissions:
+            emitted.extend(self._pending_emissions)
+            self._pending_emissions.clear()
         remaining = limit
         if name is not None:
             self._collect(self._stream(name), limit=remaining, into=emitted)
+            return emitted
+        if self.policy.batch_drain:
+            self._drain_batched(emitted, remaining)
             return emitted
         while remaining is None or remaining > 0:
             progressed = False
@@ -263,6 +323,194 @@ class StreamSupervisor:
             if point is not None and into is not None:
                 into.append((stream.name, point))
         return processed
+
+    # ------------------------------------------------------------------ #
+    # Cross-stream batched drain
+    # ------------------------------------------------------------------ #
+    def drain_batched(
+        self, limit: Optional[int] = None
+    ) -> List[Tuple[str, ScorePoint]]:
+        """Round-robin drain with one stacked solve per round.
+
+        Each round pops one bag per active stream, runs
+        :meth:`~repro.core.OnlineBagDetector.prepare` on each (no state
+        mutates), stacks every (new, window) signature pair of every
+        stream sharing solver settings into **one**
+        :meth:`~repro.emd.PairwiseEMDEngine.solve_pairs` call, scatters
+        the distances back, and commits each stream independently — so
+        the batched backends amortise their setup over the whole fleet
+        instead of paying it per stream.  The engine's routing is
+        pair-local, so on the exact backends every stream commits
+        bit-identically to a sequential :meth:`drain`.
+
+        Fault isolation survives the stacking: a
+        :class:`~repro.exceptions.SolverError` from the stacked solve is
+        attributed to the owning streams through its ``pair_indices``
+        and the round's pair→stream map; only those streams take the
+        ``on_stream_error`` policy, and every sibling that merely shared
+        the stack is rescued by re-solving its own pairs alone (exactly
+        the sequential solve).  An unattributable error (no
+        ``pair_indices``) re-solves every stream alone instead.  In
+        strict mode the healthy streams of the round commit *before*
+        the error propagates, and the points they emitted are buffered
+        for the next :meth:`drain` so the raise cannot lose them.
+
+        ``limit`` caps attempted bags, with the same attempts-not-
+        emissions semantics as :meth:`drain`.
+        """
+        self._check_open()
+        emitted: List[Tuple[str, ScorePoint]] = []
+        if self._pending_emissions:
+            emitted.extend(self._pending_emissions)
+            self._pending_emissions.clear()
+        self._drain_batched(emitted, limit)
+        return emitted
+
+    def _drain_batched(
+        self, into: List[Tuple[str, ScorePoint]], remaining: Optional[int]
+    ) -> None:
+        while remaining is None or remaining > 0:
+            n = self._drain_round_batched(into, remaining)
+            if n == 0:
+                break
+            if remaining is not None:
+                remaining -= n
+
+    def _batch_engine(self, stream: _StreamState) -> PairwiseEMDEngine:
+        """The shared solve engine for this stream's solver settings."""
+        engine = self._batch_engines.get(stream.engine_key)
+        if engine is None:
+            engine = EngineSettings.from_config(stream.config).make_engine()
+            self._batch_engines[stream.engine_key] = engine
+        return engine
+
+    @staticmethod
+    def _implicated(exc: SolverError, owners: List[int]) -> "set[int]":
+        """Prepared-push indices owning the pairs a stacked solve blamed.
+
+        An error without ``pair_indices`` implicates nobody — the
+        caller then re-solves every member alone and lets the
+        individual solves assign blame.
+        """
+        if exc.pair_indices is None:
+            return set()
+        return {owners[j] for j in exc.pair_indices if 0 <= j < len(owners)}
+
+    def _drain_round_batched(
+        self, into: List[Tuple[str, ScorePoint]], max_streams: Optional[int]
+    ) -> int:
+        """One batched round; returns the number of bags attempted."""
+        # Phase 1 — pop one bag per eligible stream and prepare it
+        # (quantise + enumerate pairs; no detector state mutates yet).
+        prepared: List[Tuple[_StreamState, np.ndarray, PendingPush]] = []
+        failures: List[
+            Tuple[_StreamState, np.ndarray, Optional[PendingPush], SolverError]
+        ] = []
+        attempts = 0
+        for stream in list(self._streams.values()):
+            if max_streams is not None and attempts >= max_streams:
+                break
+            if stream.status != ACTIVE or not stream.queue:
+                continue
+            bag = stream.queue.popleft()
+            attempts += 1
+            try:
+                pending = stream.detector.prepare(bag)
+            except SolverError as exc:
+                failures.append((stream, bag, None, exc))
+                continue
+            prepared.append((stream, bag, pending))
+
+        # Phase 2 — one stacked solve per solver-settings group, with
+        # failures attributed back through the pair→stream map.
+        distances: Dict[int, np.ndarray] = {}
+        groups: Dict[str, List[int]] = {}
+        for i, (stream, _, _) in enumerate(prepared):
+            groups.setdefault(stream.engine_key, []).append(i)
+        for members in groups.values():
+            engine = self._batch_engine(prepared[members[0]][0])
+            flat_pairs: List[Tuple[Signature, Signature]] = []
+            owners: List[int] = []
+            slices: Dict[int, slice] = {}
+            for i in members:
+                pending = prepared[i][2]
+                start = len(flat_pairs)
+                flat_pairs.extend(pending.pairs)
+                owners.extend([i] * len(pending.pairs))
+                slices[i] = slice(start, start + len(pending.pairs))
+            try:
+                stacked = engine.solve_pairs(flat_pairs)
+            except SolverError as exc:
+                implicated = self._implicated(exc, owners)
+                for i in members:
+                    stream, bag, pending = prepared[i]
+                    if i in implicated:
+                        failures.append((stream, bag, pending, exc))
+                        continue
+                    # Rescue a sibling that merely shared the stack:
+                    # re-solve its own pairs alone — exactly the
+                    # sequential push's solve, so it commits
+                    # bit-identically.
+                    try:
+                        distances[i] = engine.solve_pairs(list(pending.pairs))
+                    except SolverError as solo_exc:
+                        failures.append((stream, bag, pending, solo_exc))
+            else:
+                for i in members:
+                    distances[i] = stacked[slices[i]]
+
+        # Phase 3 — commit the solved streams, in registration order.
+        for i, (stream, _, pending) in enumerate(prepared):
+            if i not in distances:
+                continue
+            point = stream.detector.commit(pending, distances[i])
+            self._after_push(stream)
+            if point is not None:
+                into.append((stream.name, point))
+
+        # Phase 4 — apply the stream-error policy to the failures.
+        strict_error: Optional[SolverError] = None
+        for stream, bag, maybe_pending, exc in failures:
+            if self.policy.on_stream_error == "strict":
+                if maybe_pending is not None:
+                    stream.detector.rollback(maybe_pending)
+                stream.queue.appendleft(bag)
+                if strict_error is None:
+                    strict_error = exc
+                continue
+            if self.policy.on_stream_error == "degraded":
+                warnings.warn(
+                    f"stream {stream.name!r}: solver failed "
+                    f"({exc}); consuming the bag masked — scores touching it "
+                    "will be NaN",
+                    RuntimeWarning,
+                    stacklevel=4,
+                )
+                if maybe_pending is not None:
+                    point = stream.detector.commit(
+                        maybe_pending, np.full(len(maybe_pending.pairs), np.nan)
+                    )
+                else:
+                    point = stream.detector.push_masked(bag)
+                self.n_degraded_points += 1
+                self._after_push(stream)
+                if point is not None:
+                    into.append((stream.name, point))
+                continue
+            # "quarantine": rewind the prepared push first, so the
+            # snapshot taken while parking captures the pre-failure
+            # state (generator included).
+            if maybe_pending is not None:
+                stream.detector.rollback(maybe_pending)
+            self._quarantine_stream(stream, exc)
+        if strict_error is not None:
+            # The caller never sees a return value when we raise — park
+            # every point collected by this drain call for the next one
+            # instead of losing them.
+            self._pending_emissions.extend(into)
+            into.clear()
+            raise strict_error
+        return attempts
 
     def _process_one(self, stream: _StreamState) -> Optional[ScorePoint]:
         """Push the oldest queued bag of one stream, applying the error policy."""
@@ -297,6 +545,11 @@ class StreamSupervisor:
             self._after_push(stream)
             return point
         # "quarantine": park the stream on its pre-failure state.
+        self._quarantine_stream(stream, exc)
+        return None
+
+    def _quarantine_stream(self, stream: _StreamState, exc: SolverError) -> None:
+        """Park a stream on its pre-failure state after a solver error."""
         reason = f"{type(exc).__name__}: {exc}"
         if self.snapshot_dir is not None:
             self._write_snapshot(stream)
@@ -307,7 +560,7 @@ class StreamSupervisor:
         }
         if self.snapshot_dir is not None:
             save_quarantine_manifest(self.snapshot_dir, self._quarantine)
-        self.n_shed += len(stream.queue)
+        self.n_shed_quarantined += len(stream.queue)
         stream.queue.clear()
         stream.status = QUARANTINED
         stream.quarantine_reason = reason
@@ -315,9 +568,8 @@ class StreamSupervisor:
         warnings.warn(
             f"stream {stream.name!r} quarantined after {reason}",
             RuntimeWarning,
-            stacklevel=4,
+            stacklevel=5,
         )
-        return None
 
     def _after_push(self, stream: _StreamState) -> None:
         stream.pushes_since_snapshot += 1
@@ -387,10 +639,14 @@ class StreamSupervisor:
         return {
             "n_streams": len(self._streams),
             "n_shed": self.n_shed,
+            "n_shed_backpressure": self.n_shed_backpressure,
+            "n_shed_quarantined": self.n_shed_quarantined,
+            "n_discarded_on_close": self.n_discarded_on_close,
             "n_quarantined": self.n_quarantined,
             "n_restored": self.n_restored,
             "n_degraded_points": self.n_degraded_points,
             "n_snapshots_written": self.n_snapshots_written,
+            "n_pending_emissions": len(self._pending_emissions),
             "queue_depths": {
                 name: len(stream.queue) for name, stream in self._streams.items()
             },
@@ -403,17 +659,24 @@ class StreamSupervisor:
     def close(self) -> None:
         """Snapshot active streams (when persisting) and close all detectors.
 
-        Idempotent; safe to call from ``finally`` blocks and
-        ``__exit__``.  Detector close is itself idempotent, so a stream
-        whose detector was closed directly does not break teardown.
+        Bags still queued at close time are discarded and counted on
+        ``n_discarded_on_close``.  Idempotent; safe to call from
+        ``finally`` blocks and ``__exit__``.  Detector close is itself
+        idempotent, so a stream whose detector was closed directly does
+        not break teardown.
         """
         if self._closed:
             return
         self._closed = True
         for stream in self._streams.values():
+            self.n_discarded_on_close += len(stream.queue)
+            stream.queue.clear()
             if self.snapshot_dir is not None and stream.status == ACTIVE:
                 self._write_snapshot(stream)
             stream.detector.close()
+        for engine in self._batch_engines.values():
+            engine.close()
+        self._batch_engines.clear()
 
     def __enter__(self) -> "StreamSupervisor":
         return self

@@ -1,0 +1,180 @@
+"""Tests for ``tools.bench_trend`` — the CI perf-trend consolidator.
+
+Covers the three layers: payload discovery/parsing against the
+``benchmarks/conftest.write_benchmark_json`` schema, metric
+classification (seconds / speedup / parity, with tolerance keys
+excluded), and the rendered markdown plus CLI exit codes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tools.bench_trend import (
+    BenchPayload,
+    PayloadError,
+    discover,
+    flatten,
+    load_payload,
+    main,
+    parity_metrics,
+    render_markdown,
+    seconds_metrics,
+    speedup_metrics,
+)
+
+
+def write_payload(path: Path, benchmark: str, results: dict, *, passed: bool = True) -> Path:
+    payload = {
+        "benchmark": benchmark,
+        "passed": passed,
+        "results": results,
+        "argv": ["--quick"],
+        "versions": {"python": "3.12.0", "numpy": "2.0.0"},
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def stream_payload(tmp_path):
+    return write_payload(
+        tmp_path / "BENCH_stream_service.json",
+        "stream_service",
+        {
+            "supervised_seconds": 1.5,
+            "independent_seconds": 1.25,
+            "max_parity_diff": 2.5e-16,
+            "overhead_limit": 0.5,
+            "batch_drain": {
+                "linprog_batch": {
+                    "speedup": 4.8,
+                    "speedup_limit": 2.0,
+                    "parity_diff": 4.4e-16,
+                    "parity_tol": 1e-12,
+                    "batched_seconds": 1.1,
+                },
+                "sinkhorn_batch": {
+                    "speedup": 9.1,
+                    "parity_diff": 0.0,
+                    "batched_seconds": 5.6,
+                },
+            },
+        },
+    )
+
+
+class TestDiscover:
+    def test_directory_scan_sorted(self, tmp_path):
+        b = write_payload(tmp_path / "BENCH_b.json", "b", {})
+        a = write_payload(tmp_path / "BENCH_a.json", "a", {})
+        (tmp_path / "notes.json").write_text("{}")  # not BENCH_*: ignored
+        assert discover([tmp_path]) == [a.resolve(), b.resolve()]
+
+    def test_explicit_file_plus_directory_deduplicated(self, tmp_path):
+        a = write_payload(tmp_path / "BENCH_a.json", "a", {})
+        assert discover([a, tmp_path]) == [a.resolve()]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(PayloadError, match="no such file"):
+            discover([tmp_path / "absent"])
+
+
+class TestLoadPayload:
+    def test_round_trip(self, stream_payload):
+        payload = load_payload(stream_payload)
+        assert payload.benchmark == "stream_service"
+        assert payload.passed is True
+        assert payload.versions == {"python": "3.12.0", "numpy": "2.0.0"}
+        assert payload.metrics["batch_drain.linprog_batch.speedup"] == 4.8
+
+    def test_malformed_json_rejected(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(PayloadError, match="unreadable"):
+            load_payload(bad)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"results": {}}))
+        with pytest.raises(PayloadError, match="benchmark"):
+            load_payload(bad)
+
+    def test_non_scalar_leaves_survive_as_json(self, tmp_path):
+        path = write_payload(tmp_path / "BENCH_x.json", "x", {"shape": [3, 4], "gate": None})
+        metrics = load_payload(path).metrics
+        assert metrics["shape"] == "[3, 4]"
+        assert metrics["gate"] == "null"
+
+
+class TestMetricClassification:
+    def test_flatten_uses_dotted_keys(self):
+        flat = flatten({"a": {"b": {"c": 1.0}}, "d": True})
+        assert flat == {"a.b.c": 1.0, "d": True}
+
+    def test_seconds_speedup_parity_split(self, stream_payload):
+        metrics = load_payload(stream_payload).metrics
+        assert set(seconds_metrics(metrics)) == {
+            "supervised_seconds",
+            "independent_seconds",
+            "batch_drain.linprog_batch.batched_seconds",
+            "batch_drain.sinkhorn_batch.batched_seconds",
+        }
+        # Gates/tolerances (speedup_limit, parity_tol) must not be
+        # mistaken for measurements.
+        assert set(speedup_metrics(metrics)) == {
+            "batch_drain.linprog_batch.speedup",
+            "batch_drain.sinkhorn_batch.speedup",
+        }
+        assert set(parity_metrics(metrics)) == {
+            "max_parity_diff",
+            "batch_drain.linprog_batch.parity_diff",
+            "batch_drain.sinkhorn_batch.parity_diff",
+        }
+
+    def test_booleans_are_not_numbers(self):
+        metrics = flatten({"parity_ok": True, "speedup_ok": True, "run_seconds": True})
+        assert parity_metrics(metrics) == {}
+        assert speedup_metrics(metrics) == {}
+        assert seconds_metrics(metrics) == {}
+
+
+class TestRenderMarkdown:
+    def test_summary_picks_worst_case(self, stream_payload):
+        report = render_markdown([load_payload(stream_payload)], label="abc123")
+        assert "Commit: `abc123`" in report
+        # Worst parity is the largest error; worst speedup the smallest.
+        assert "4.4e-16 (parity_diff)" in report
+        assert "4.8 (speedup)" in report
+        # Total timed seconds = 1.5 + 1.25 + 1.1 + 5.6.
+        assert "| 9.45 |" in report
+
+    def test_failed_benchmark_flagged(self, tmp_path):
+        path = write_payload(tmp_path / "BENCH_f.json", "f", {"run_seconds": 1.0}, passed=False)
+        report = render_markdown([load_payload(path)])
+        assert "**FAIL**" in report
+
+    def test_benchmark_without_perf_axes_renders_placeholders(self):
+        payload = BenchPayload(
+            path=Path("BENCH_x.json"), benchmark="x", passed=True, metrics={}, versions={}
+        )
+        report = render_markdown([payload])
+        assert "| x | pass | — | — | — |" in report
+
+
+class TestMain:
+    def test_writes_output_file(self, tmp_path, stream_payload, capsys):
+        out = tmp_path / "BENCH_TREND.md"
+        assert main([str(stream_payload.parent), "--output", str(out)]) == 0
+        report = out.read_text()
+        assert report.startswith("# Benchmark perf trend")
+        assert "stream_service" in report
+        assert "stream_service" in capsys.readouterr().out
+
+    def test_no_payloads_is_exit_1(self, tmp_path):
+        assert main([str(tmp_path)]) == 1
+
+    def test_malformed_payload_is_exit_2(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        assert main([str(tmp_path)]) == 2

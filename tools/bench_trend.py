@@ -1,0 +1,286 @@
+"""Consolidate ``BENCH_*.json`` artifacts into one markdown perf-trend table.
+
+Every smoke benchmark writes a machine-readable payload via
+``benchmarks/conftest.write_benchmark_json`` (``{benchmark, passed,
+results, argv, versions}``) and CI uploads them per commit — but the
+trajectory was upload-only and nothing read it.  This tool closes the
+loop: run after the benchmark steps, it collects every payload, pulls
+out the comparable performance axes (wall-clock seconds, speedups,
+parity error) into a summary table, and appends one flattened
+key/value table per benchmark so a commit's full perf surface lives in
+a single reviewable artifact.  Diffing two commits' tables is the
+trend.
+
+Usage::
+
+    python -m tools.bench_trend [paths...] --output BENCH_TREND.md
+
+``paths`` may mix files and directories (directories are scanned for
+``BENCH_*.json``, non-recursively); default is the current directory.
+Exit codes: 0 — table written; 1 — no payload found; 2 — a payload was
+unreadable or malformed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: Filename pattern produced by the CI benchmark steps.
+BENCH_GLOB = "BENCH_*.json"
+
+#: Scalar leaf types kept when flattening a ``results`` payload.
+Scalar = Union[bool, int, float, str]
+
+
+@dataclass(frozen=True)
+class BenchPayload:
+    """One parsed ``BENCH_*.json`` artifact."""
+
+    path: Path
+    benchmark: str
+    passed: bool
+    metrics: Dict[str, Scalar]
+    versions: Dict[str, str]
+
+
+class PayloadError(ValueError):
+    """A benchmark JSON file exists but does not match the shared schema."""
+
+
+def discover(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Resolve files/directories into a sorted, de-duplicated payload list."""
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.extend(sorted(path.glob(BENCH_GLOB)))
+        elif path.exists():
+            found.append(path)
+        else:
+            raise PayloadError(f"{path}: no such file or directory")
+    seen: Dict[Path, None] = {}
+    for path in found:
+        seen.setdefault(path.resolve(), None)
+    return list(seen)
+
+
+def flatten(results: Mapping[str, object], prefix: str = "") -> Dict[str, Scalar]:
+    """Flatten nested result dicts to dotted-key scalars, in key order.
+
+    Non-scalar leaves that are not dicts (lists, ``None``) are rendered
+    through ``json.dumps`` so nothing silently disappears from the table.
+    """
+    flat: Dict[str, Scalar] = {}
+    for key, value in results.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten(value, prefix=f"{dotted}."))
+        elif isinstance(value, (bool, int, float, str)):
+            flat[dotted] = value
+        else:
+            flat[dotted] = json.dumps(value)
+    return flat
+
+
+def load_payload(path: Path) -> BenchPayload:
+    """Parse one artifact, enforcing the ``write_benchmark_json`` schema."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PayloadError(f"{path}: unreadable benchmark JSON ({exc})") from exc
+    if not isinstance(raw, dict):
+        raise PayloadError(f"{path}: expected a JSON object, got {type(raw).__name__}")
+    benchmark = raw.get("benchmark")
+    results = raw.get("results")
+    if not isinstance(benchmark, str) or not isinstance(results, dict):
+        raise PayloadError(
+            f"{path}: missing 'benchmark'/'results' keys "
+            "(not written by benchmarks/conftest.write_benchmark_json?)"
+        )
+    versions_raw = raw.get("versions")
+    versions = (
+        {str(k): str(v) for k, v in versions_raw.items()}
+        if isinstance(versions_raw, dict)
+        else {}
+    )
+    return BenchPayload(
+        path=path,
+        benchmark=benchmark,
+        passed=bool(raw.get("passed", False)),
+        metrics=flatten(results),
+        versions=versions,
+    )
+
+
+def _is_number(value: Scalar) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _leaf(key: str) -> str:
+    return key.rsplit(".", 1)[-1]
+
+
+def seconds_metrics(metrics: Mapping[str, Scalar]) -> Dict[str, float]:
+    """Wall-clock metrics: numeric keys whose leaf ends in ``seconds``."""
+    return {
+        key: float(value)
+        for key, value in metrics.items()
+        if _leaf(key).endswith("seconds") and _is_number(value)
+    }
+
+
+def speedup_metrics(metrics: Mapping[str, Scalar]) -> Dict[str, float]:
+    """Speedup ratios, excluding configured gates (``*_limit``)."""
+    return {
+        key: float(value)
+        for key, value in metrics.items()
+        if "speedup" in _leaf(key)
+        and not _leaf(key).endswith(("_limit", "_ok"))
+        and _is_number(value)
+    }
+
+
+def parity_metrics(metrics: Mapping[str, Scalar]) -> Dict[str, float]:
+    """Numerical-parity errors, excluding tolerances (``*_tol``/``*_limit``)."""
+    return {
+        key: float(value)
+        for key, value in metrics.items()
+        if "parity" in _leaf(key)
+        and not _leaf(key).endswith(("_tol", "_limit", "_ok"))
+        and _is_number(value)
+    }
+
+
+def _fmt(value: Scalar) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value).replace("|", "\\|")
+
+
+def _fmt_named_extreme(metrics: Mapping[str, float], *, worst_high: bool) -> str:
+    """Render the most pessimistic entry as ``value (leaf-key)``."""
+    if not metrics:
+        return "—"
+    key, value = (max if worst_high else min)(metrics.items(), key=lambda kv: kv[1])
+    return f"{_fmt(value)} ({_leaf(key)})"
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines.extend("| " + " | ".join(row) + " |" for row in rows)
+    return lines
+
+
+def render_markdown(payloads: Sequence[BenchPayload], *, label: Optional[str] = None) -> str:
+    """Render the consolidated trend report as GitHub-flavoured markdown."""
+    lines: List[str] = ["# Benchmark perf trend"]
+    if label:
+        lines.append(f"\nCommit: `{label}`")
+    versions: Dict[str, str] = {}
+    for payload in payloads:
+        versions.update(payload.versions)
+    if versions:
+        stack = ", ".join(f"{name} {ver}" for name, ver in sorted(versions.items()))
+        lines.append(f"\nStack: {stack}")
+
+    summary_rows: List[List[str]] = []
+    for payload in payloads:
+        seconds = seconds_metrics(payload.metrics)
+        summary_rows.append(
+            [
+                payload.benchmark,
+                "pass" if payload.passed else "**FAIL**",
+                _fmt(sum(seconds.values())) if seconds else "—",
+                _fmt_named_extreme(speedup_metrics(payload.metrics), worst_high=False),
+                _fmt_named_extreme(parity_metrics(payload.metrics), worst_high=True),
+            ]
+        )
+    lines.append("")
+    lines.extend(
+        _table(
+            ["benchmark", "status", "total timed (s)", "min speedup", "max parity err"],
+            summary_rows,
+        )
+    )
+
+    for payload in payloads:
+        lines.append(f"\n## {payload.benchmark}")
+        lines.append(f"\nSource: `{payload.path.name}`")
+        lines.append("")
+        lines.extend(
+            _table(
+                ["metric", "value"],
+                [[key.replace("|", "\\|"), _fmt(value)] for key, value in payload.metrics.items()],
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bench-trend",
+        description=f"Consolidate {BENCH_GLOB} artifacts into a markdown perf-trend table.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help=f"files or directories to scan for {BENCH_GLOB} (default: .)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the markdown table here (default: stdout only)",
+    )
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="commit identifier to stamp into the report header",
+    )
+    return parser
+
+
+def consolidate(
+    paths: Sequence[Union[str, Path]], *, label: Optional[str] = None
+) -> Tuple[str, List[BenchPayload]]:
+    """Discover, parse and render; the core pipeline behind ``main``."""
+    payloads = [load_payload(path) for path in discover(paths)]
+    payloads.sort(key=lambda p: p.benchmark)
+    return render_markdown(payloads, label=label), payloads
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        report, payloads = consolidate(args.paths, label=args.label)
+    except PayloadError as exc:
+        print(f"bench-trend: {exc}", file=sys.stderr)
+        return 2
+    if not payloads:
+        print(f"bench-trend: no {BENCH_GLOB} found under {args.paths}", file=sys.stderr)
+        return 1
+    try:
+        print(report)
+    except BrokenPipeError:  # downstream pager/head closed early; not an error
+        pass
+    if args.output is not None:
+        Path(args.output).write_text(report)
+        print(f"bench-trend: table written to {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
