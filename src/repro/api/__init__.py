@@ -1,0 +1,50 @@
+"""Estimator facade: one contract over every detector in the repo.
+
+See ``docs/api.md`` for the guide.  The public surface:
+
+* :class:`BaseBagDetector` — the contract (``fit_predict`` → sparse
+  change points, ``fit_transform`` → dense segment labels);
+* :func:`sparse_to_dense` / :func:`dense_to_sparse` — the two output
+  representations and their exact round-trip converters;
+* :func:`register_detector` / :func:`get_detector` /
+  :func:`detector_names` — the registry the estimator battery and the
+  ``repro-detect zoo`` subcommand iterate;
+* the ten registered adapters (two paper detectors + eight baselines).
+
+Importing this package populates the registry.
+"""
+
+from .adapters import (
+    ChangeFinderBaseline,
+    CusumBaseline,
+    DensityRatioBaseline,
+    EMDDetector,
+    KcdBaseline,
+    MeanShiftBaseline,
+    OneClassSvmBaseline,
+    OnlineEMDDetector,
+    SdarBaseline,
+    SstBaseline,
+)
+from .base import BaseBagDetector
+from .conversion import dense_to_sparse, sparse_to_dense
+from .registry import detector_names, get_detector, register_detector
+
+__all__ = [
+    "BaseBagDetector",
+    "ChangeFinderBaseline",
+    "CusumBaseline",
+    "DensityRatioBaseline",
+    "EMDDetector",
+    "KcdBaseline",
+    "MeanShiftBaseline",
+    "OneClassSvmBaseline",
+    "OnlineEMDDetector",
+    "SdarBaseline",
+    "SstBaseline",
+    "dense_to_sparse",
+    "detector_names",
+    "get_detector",
+    "register_detector",
+    "sparse_to_dense",
+]

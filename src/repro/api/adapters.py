@@ -1,0 +1,613 @@
+"""Facade adapters: every detector in the repo behind one contract.
+
+Two families:
+
+* the paper's bag-of-data detectors — :class:`EMDDetector` wraps the
+  offline :class:`~repro.core.BagChangePointDetector`;
+  :class:`OnlineEMDDetector` replays the stream through the streaming
+  :class:`~repro.core.OnlineBagDetector` one push at a time, so the
+  facade exercises exactly the code path a live service runs;
+* the eight ``repro.baselines`` methods — single-vector detectors
+  applied to the per-bag sample-mean sequence (the paper's Fig. 1
+  reduction, via :func:`repro.baselines.mean_sequence`), their score
+  series thresholded at ``mean + threshold_sigma · std`` of the active
+  scores and nearby alarms merged with
+  :func:`~repro.core.merge_close_alarms`.
+
+Every adapter is registered by name in :mod:`repro.api.registry`; the
+shared estimator battery iterates that registry, so a new adapter is on
+the hook for the full contract suite the moment it registers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray
+from ..baselines import (
+    SDAR,
+    ChangeFinder,
+    CusumDetector,
+    KernelChangeDetection,
+    OneClassSVM,
+    RelativeDensityRatioDetector,
+    SingularSpectrumTransformation,
+    median_heuristic_gamma,
+)
+from ..core import BagChangePointDetector, DetectorConfig, OnlineBagDetector
+from ..core.segmentation import merge_close_alarms
+from ..exceptions import ValidationError
+from .base import BaseBagDetector
+from .registry import register_detector
+
+__all__ = [
+    "ChangeFinderBaseline",
+    "CusumBaseline",
+    "DensityRatioBaseline",
+    "EMDDetector",
+    "KcdBaseline",
+    "MeanShiftBaseline",
+    "OneClassSvmBaseline",
+    "OnlineEMDDetector",
+    "SdarBaseline",
+    "SstBaseline",
+]
+
+
+def _merged_alarms(alarms: Sequence[int], n: int, min_gap: int) -> IntArray:
+    """Merge nearby alarm indices and clip them to the open interval (0, n)."""
+    merged = merge_close_alarms([a for a in alarms if 0 < a < n], max(min_gap, 1))
+    return np.asarray(merged, dtype=np.int64)
+
+
+# --------------------------------------------------------------------- #
+# The paper's detectors
+# --------------------------------------------------------------------- #
+@register_detector("emd")
+class EMDDetector(BaseBagDetector):
+    """The paper's offline bag-of-data detector behind the facade.
+
+    Parameters
+    ----------
+    config:
+        A full :class:`~repro.core.DetectorConfig`; keyword arguments
+        may be passed instead and are forwarded to the config.
+    min_gap:
+        Alarms closer together than this many steps are reported as one
+        change point (consecutive alarms while the windows straddle one
+        change refer to the same event).  Defaults to the test-window
+        length ``tau_test``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        *,
+        min_gap: Optional[int] = None,
+        **kwargs: object,
+    ) -> None:
+        if config is None:
+            config = DetectorConfig(**kwargs)  # type: ignore[arg-type]
+        elif kwargs:
+            raise ValidationError("pass either a DetectorConfig or keyword arguments, not both")
+        self.config = config
+        self.min_gap = int(min_gap) if min_gap is not None else config.tau_test
+
+    @property
+    def min_sequence_length(self) -> int:
+        """The detector needs one full reference + test window."""
+        return self.config.window_span
+
+    @classmethod
+    def create_test_instance(cls) -> "EMDDetector":
+        """Small windows, few clusters, few replicates — fast and seeded."""
+        return cls(
+            tau=3, tau_test=3, n_clusters=3, n_bootstrap=30, random_state=0
+        )
+
+    def _predict_changepoints(self, bags: List[np.ndarray]) -> IntArray:
+        with BagChangePointDetector(self.config) as detector:
+            result = detector.detect(bags)
+        return _merged_alarms(result.alarm_times.tolist(), len(bags), self.min_gap)
+
+
+@register_detector("emd_online")
+class OnlineEMDDetector(BaseBagDetector):
+    """The streaming bag-of-data detector, replayed over a recorded stream.
+
+    The adapter feeds the bags one :meth:`~repro.core.OnlineBagDetector.push`
+    at a time — the facade runs exactly the incremental code path a live
+    stream runs (rolling window matrix, per-push solves), then reads the
+    alarms off the emitted history.
+
+    Parameters
+    ----------
+    config:
+        A full :class:`~repro.core.DetectorConfig`; keyword arguments
+        may be passed instead and are forwarded to the config.
+    min_gap:
+        Alarm-merging distance, as in :class:`EMDDetector`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        *,
+        min_gap: Optional[int] = None,
+        **kwargs: object,
+    ) -> None:
+        if config is None:
+            config = DetectorConfig(**kwargs)  # type: ignore[arg-type]
+        elif kwargs:
+            raise ValidationError("pass either a DetectorConfig or keyword arguments, not both")
+        self.config = config
+        self.min_gap = int(min_gap) if min_gap is not None else config.tau_test
+
+    @property
+    def min_sequence_length(self) -> int:
+        """One full window must fit before any score point is emitted."""
+        return self.config.window_span
+
+    @classmethod
+    def create_test_instance(cls) -> "OnlineEMDDetector":
+        """Mirror :meth:`EMDDetector.create_test_instance` on the online path."""
+        return cls(
+            tau=3, tau_test=3, n_clusters=3, n_bootstrap=30, random_state=0
+        )
+
+    def _predict_changepoints(self, bags: List[np.ndarray]) -> IntArray:
+        with OnlineBagDetector(self.config) as detector:
+            points = detector.push_many(bags)
+        alarms = [point.time for point in points if point.alert]
+        return _merged_alarms(alarms, len(bags), self.min_gap)
+
+
+# --------------------------------------------------------------------- #
+# Baseline adapters (single-vector methods on the mean sequence)
+# --------------------------------------------------------------------- #
+class _SeriesBaselineDetector(BaseBagDetector):
+    """Shared shape of the eight baseline adapters.
+
+    Subclasses implement :meth:`_score_means` — a per-step change-point
+    score over the ``(T, d)`` per-bag sample-mean sequence.  This base
+    turns the score series into change points: scores strictly above
+    ``mean + threshold_sigma · std`` of the *active* (finite, positive)
+    scores become alarms, and alarms closer than ``min_gap`` merge into
+    one change point.
+
+    Parameters
+    ----------
+    threshold_sigma:
+        Number of standard deviations above the active-score mean at
+        which an alarm is raised.
+    min_gap:
+        Alarms closer together than this many steps are reported as one
+        change point.
+    """
+
+    def __init__(self, *, threshold_sigma: float = 2.0, min_gap: int = 5) -> None:
+        if not np.isfinite(threshold_sigma) or threshold_sigma <= 0:
+            raise ValidationError(
+                f"threshold_sigma must be positive and finite, got {threshold_sigma}"
+            )
+        if min_gap < 1:
+            raise ValidationError(f"min_gap must be a positive integer, got {min_gap}")
+        self.threshold_sigma = float(threshold_sigma)
+        self.min_gap = int(min_gap)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        """Per-step change-point score over the mean sequence (hook)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _univariate(means: FloatArray) -> FloatArray:
+        """Reduce a ``(T, d)`` mean sequence to one value per step.
+
+        One-dimensional streams pass through unchanged; multivariate
+        streams reduce to the Euclidean norm of each step's deviation
+        from the global mean (direction is lost, which is acceptable for
+        baselines the paper already shows failing on richer changes).
+        """
+        if means.shape[1] == 1:
+            return means[:, 0].copy()
+        centred = means - means.mean(axis=0, keepdims=True)
+        return np.sqrt(np.sum(centred**2, axis=1))
+
+    def _predict_changepoints(self, bags: List[np.ndarray]) -> IntArray:
+        n = len(bags)
+        means = np.vstack([bag.mean(axis=0) for bag in bags])
+        scores = np.asarray(self._score_means(means), dtype=float).ravel()
+        if scores.shape[0] != n:
+            raise ValidationError(
+                f"{type(self).__name__} produced {scores.shape[0]} scores "
+                f"for {n} bags; the score series must align with the stream"
+            )
+        active = scores[np.isfinite(scores) & (scores > 0)]
+        if active.size == 0:
+            return np.array([], dtype=np.int64)
+        threshold = float(active.mean() + self.threshold_sigma * active.std())
+        alarms = np.nonzero(np.isfinite(scores) & (scores > threshold))[0]
+        return _merged_alarms(alarms.tolist(), n, self.min_gap)
+
+
+@register_detector("cusum")
+class CusumBaseline(_SeriesBaselineDetector):
+    """Two-sided CUSUM on the (reduced) mean sequence.
+
+    Parameters
+    ----------
+    threshold:
+        CUSUM decision threshold ``h`` in standard deviations.
+    drift:
+        CUSUM allowance ``k`` subtracted before accumulation.
+    calibration:
+        Number of initial points used to estimate the in-control state.
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`);
+        ``threshold_sigma`` is unused here because CUSUM carries its own
+        decision threshold — alarms come straight from the recursion.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float = 5.0,
+        drift: float = 0.5,
+        calibration: int = 10,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self._detector = CusumDetector(
+            threshold=threshold, drift=drift, calibration=calibration
+        )
+
+    @property
+    def min_sequence_length(self) -> int:
+        """CUSUM needs its calibration prefix plus at least one monitored point."""
+        return self._detector.calibration + 2
+
+    @classmethod
+    def create_test_instance(cls) -> "CusumBaseline":
+        """Short calibration so the battery's small streams fit."""
+        return cls(calibration=6, min_gap=3)
+
+    def _predict_changepoints(self, bags: List[np.ndarray]) -> IntArray:
+        # CUSUM carries its own decision threshold; bypass the sigma rule.
+        means = np.vstack([bag.mean(axis=0) for bag in bags])
+        values = self._univariate(means)
+        alarms = self._detector.detect(values)
+        return _merged_alarms(alarms.tolist(), len(bags), self.min_gap)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        scores, _ = self._detector.score(self._univariate(means))
+        return scores
+
+
+@register_detector("change_finder")
+class ChangeFinderBaseline(_SeriesBaselineDetector):
+    """Two-stage SDAR (ChangeFinder) on the mean sequence.
+
+    Parameters
+    ----------
+    order:
+        AR order of both SDAR stages.
+    discount:
+        Discounting coefficient of both stages.
+    smoothing:
+        Moving-average width used for both smoothing stages.
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`).
+    """
+
+    def __init__(
+        self,
+        *,
+        order: int = 2,
+        discount: float = 0.05,
+        smoothing: int = 5,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self.order = int(order)
+        self.discount = float(discount)
+        self.smoothing = int(smoothing)
+
+    @property
+    def min_sequence_length(self) -> int:
+        """Both SDAR stages need a few points beyond the AR order."""
+        return self.order + self.smoothing + 2
+
+    @classmethod
+    def create_test_instance(cls) -> "ChangeFinderBaseline":
+        """First-order model with light smoothing — fast on short streams."""
+        return cls(order=1, smoothing=3, min_gap=3)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        finder = ChangeFinder(
+            order=self.order,
+            discount=self.discount,
+            smoothing_first=self.smoothing,
+            smoothing_second=self.smoothing,
+            dim=means.shape[1],
+        )
+        return finder.score(means)
+
+
+@register_detector("sdar")
+class SdarBaseline(_SeriesBaselineDetector):
+    """Single-stage SDAR log-loss (outlier score) on the mean sequence.
+
+    Parameters
+    ----------
+    order:
+        AR order of the SDAR model.
+    discount:
+        Discounting coefficient.
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`).
+    """
+
+    def __init__(
+        self,
+        *,
+        order: int = 2,
+        discount: float = 0.05,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self.order = int(order)
+        self.discount = float(discount)
+
+    @property
+    def min_sequence_length(self) -> int:
+        """The AR model needs its order plus a few points to warm up."""
+        return self.order + 3
+
+    @classmethod
+    def create_test_instance(cls) -> "SdarBaseline":
+        """First-order model, fast on short streams."""
+        return cls(order=1, min_gap=3)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        model = SDAR(order=self.order, discount=self.discount, dim=means.shape[1])
+        return model.score_sequence(means)
+
+
+@register_detector("sst")
+class SstBaseline(_SeriesBaselineDetector):
+    """Singular-spectrum transformation on the (reduced) mean sequence.
+
+    Parameters
+    ----------
+    window:
+        Hankel-window length of the SST.
+    n_columns:
+        Number of lagged columns per Hankel matrix.
+    rank:
+        Subspace rank compared across the inspection point.
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 6,
+        n_columns: int = 6,
+        rank: int = 2,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self._detector = SingularSpectrumTransformation(
+            window=window, n_columns=n_columns, rank=rank
+        )
+
+    @property
+    def min_sequence_length(self) -> int:
+        """Two full Hankel spans must fit around one inspection point."""
+        return 2 * self._detector.span + 1
+
+    @classmethod
+    def create_test_instance(cls) -> "SstBaseline":
+        """Small Hankel windows so the battery's short streams fit."""
+        return cls(window=3, n_columns=3, rank=1, min_gap=3)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        return self._detector.score(self._univariate(means))
+
+
+@register_detector("kcd")
+class KcdBaseline(_SeriesBaselineDetector):
+    """Kernel change detection (paired one-class SVMs) on the mean sequence.
+
+    Parameters
+    ----------
+    window:
+        Number of steps in each of the reference and test windows.
+    nu:
+        ν parameter of the one-class SVMs.
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        nu: float = 0.2,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self._detector = KernelChangeDetection(window=window, nu=nu)
+
+    @property
+    def min_sequence_length(self) -> int:
+        """One reference plus one test window must fit."""
+        return 2 * self._detector.window + 1
+
+    @classmethod
+    def create_test_instance(cls) -> "KcdBaseline":
+        """Small windows keep the per-step SVM fits cheap."""
+        return cls(window=4, min_gap=3)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        return self._detector.score(means)
+
+
+@register_detector("density_ratio")
+class DensityRatioBaseline(_SeriesBaselineDetector):
+    """Relative density-ratio (RuLSIF-style) scoring on the mean sequence.
+
+    Parameters
+    ----------
+    window:
+        Number of steps in each of the two compared windows.
+    alpha:
+        Relative parameter of the Pearson divergence.
+    n_basis:
+        Number of kernel basis centres.
+    random_state:
+        Seed of the basis-centre subsampling (kept deterministic so the
+        facade's determinism contract holds).
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        alpha: float = 0.1,
+        n_basis: int = 20,
+        random_state: int = 0,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self._detector = RelativeDensityRatioDetector(
+            window=window, alpha=alpha, n_basis=n_basis, random_state=random_state
+        )
+
+    @property
+    def min_sequence_length(self) -> int:
+        """One reference plus one test window must fit."""
+        return 2 * self._detector.window + 1
+
+    @classmethod
+    def create_test_instance(cls) -> "DensityRatioBaseline":
+        """Few basis centres, small windows — fast and seeded."""
+        return cls(window=4, n_basis=10, min_gap=3)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        return self._detector.score(means)
+
+
+@register_detector("ocsvm")
+class OneClassSvmBaseline(_SeriesBaselineDetector):
+    """One-class-SVM novelty scoring of the test window against the past.
+
+    At each step a ν-OCSVM is fitted on the reference window of mean
+    vectors; the score is the negated mean decision value of the test
+    window under that model (positive when the test window falls outside
+    the reference description).  This is the single-model half of KCD —
+    cheaper, and asymmetric by construction.
+
+    Parameters
+    ----------
+    window:
+        Number of steps in each of the reference and test windows.
+    nu:
+        ν parameter of the one-class SVM.
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        nu: float = 0.2,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self.window = int(window)
+        self.nu = float(nu)
+
+    @property
+    def min_sequence_length(self) -> int:
+        """One reference plus one test window must fit."""
+        return 2 * self.window + 1
+
+    @classmethod
+    def create_test_instance(cls) -> "OneClassSvmBaseline":
+        """Small windows keep the per-step SVM fit cheap."""
+        return cls(window=4, min_gap=3)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        n = means.shape[0]
+        w = self.window
+        scores = np.zeros(n, dtype=float)
+        for t in range(w, n - w + 1):
+            reference = means[t - w : t]
+            test = means[t : t + w]
+            gamma = median_heuristic_gamma(np.vstack([reference, test]))
+            model = OneClassSVM(nu=self.nu, gamma=gamma).fit(reference)
+            scores[t] = float(-model.decision_function(test).mean())
+        return scores
+
+
+@register_detector("mean_shift")
+class MeanShiftBaseline(_SeriesBaselineDetector):
+    """Window-mean difference — the descriptive-statistics strawman.
+
+    The score at ``t`` is the Euclidean distance between the average
+    mean vector of the test window and that of the reference window.
+    This is precisely the summary the paper's Fig. 1 shows failing on
+    changes that leave the mean untouched; the facade keeps it in the
+    zoo as the floor every other method should beat.
+
+    Parameters
+    ----------
+    window:
+        Number of steps in each of the reference and test windows.
+    threshold_sigma, min_gap:
+        Facade thresholding knobs (see :class:`_SeriesBaselineDetector`).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 5,
+        threshold_sigma: float = 2.0,
+        min_gap: int = 5,
+    ) -> None:
+        super().__init__(threshold_sigma=threshold_sigma, min_gap=min_gap)
+        self.window = int(window)
+
+    @property
+    def min_sequence_length(self) -> int:
+        """One reference plus one test window must fit."""
+        return 2 * self.window + 1
+
+    @classmethod
+    def create_test_instance(cls) -> "MeanShiftBaseline":
+        """Small windows so the battery's short streams fit."""
+        return cls(window=3, min_gap=3)
+
+    def _score_means(self, means: FloatArray) -> FloatArray:
+        n = means.shape[0]
+        w = self.window
+        scores = np.zeros(n, dtype=float)
+        for t in range(w, n - w + 1):
+            reference = means[t - w : t].mean(axis=0)
+            test = means[t : t + w].mean(axis=0)
+            scores[t] = float(np.linalg.norm(test - reference))
+        return scores

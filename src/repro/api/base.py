@@ -1,0 +1,153 @@
+"""The estimator contract every detector in the zoo implements.
+
+:class:`BaseBagDetector` is the sklearn/skchange-style facade over the
+project's heterogeneous detector population: the paper's offline and
+online bag-of-data detectors and the eight single-vector baselines all
+answer the same two questions through it —
+
+* :meth:`~BaseBagDetector.fit_predict` — *where* did the stream change?
+  Returns the **sparse** representation: a sorted integer array of
+  change points (see :mod:`repro.api.conversion`).
+* :meth:`~BaseBagDetector.fit_transform` — *which segment* does each bag
+  belong to?  Returns the **dense** representation: one integer segment
+  label per bag, derived from the same change points, so
+  ``fit_transform(bags) == sparse_to_dense(fit_predict(bags), len(bags))``
+  by construction.
+
+Subclasses implement one hook, :meth:`~BaseBagDetector._predict_changepoints`,
+plus :meth:`~BaseBagDetector.create_test_instance` — a small, fast,
+*seeded* configuration the shared estimator battery
+(``tests/test_estimator_battery.py``) runs through the contract suite.
+The base class owns input normalisation and output validation, so every
+registered detector fails the same way on bad input and can never return
+malformed change points.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from .._typing import IntArray
+from ..core.bag import BagSequence
+from ..exceptions import ValidationError
+from .conversion import _as_changepoints, sparse_to_dense
+
+__all__ = ["BaseBagDetector"]
+
+#: Anything a facade detector accepts as the input stream.
+BagsLike = Union[BagSequence, Sequence[np.ndarray]]
+
+
+def as_bag_arrays(bags: BagsLike) -> List[np.ndarray]:
+    """Normalise the input stream to a list of ``(n_t, d)`` float arrays.
+
+    Parameters
+    ----------
+    bags:
+        A :class:`~repro.core.BagSequence` or a sequence of per-time-step
+        arrays; one-dimensional bags are promoted to ``(n_t, 1)``.
+    """
+    if isinstance(bags, BagSequence):
+        arrays = bags.arrays()
+    else:
+        arrays = [np.asarray(bag, dtype=float) for bag in bags]
+    out: List[np.ndarray] = []
+    for index, bag in enumerate(arrays):
+        if bag.ndim == 1:
+            bag = bag.reshape(-1, 1)
+        if bag.ndim != 2:
+            raise ValidationError(
+                f"bag {index} has shape {bag.shape}; each bag must be a "
+                "(n_observations, d) array"
+            )
+        if bag.shape[0] == 0:
+            raise ValidationError(f"bag {index} is empty")
+        out.append(bag)
+    return out
+
+
+class BaseBagDetector(ABC):
+    """Estimator contract: a change-point detector over a stream of bags.
+
+    The facade is deliberately *stateless across calls*: ``fit_predict``
+    and ``fit_transform`` each run the full pipeline on the stream they
+    are handed, and a detector constructed with an integer seed returns
+    identical output on every call (the determinism leg of the shared
+    estimator battery).
+
+    Subclasses provide:
+
+    * :meth:`_predict_changepoints` — the detection itself, returning
+      raw change-point indices for a validated list of bags;
+    * :attr:`min_sequence_length` — the shortest stream the detector
+      can score (the base class rejects shorter input with a uniform
+      :class:`~repro.exceptions.ValidationError` before the hook runs);
+    * :meth:`create_test_instance` — a small, fast, seeded instance for
+      the contract suite.
+    """
+
+    @property
+    def min_sequence_length(self) -> int:
+        """Minimum number of bags :meth:`fit_predict` accepts."""
+        return 2
+
+    @classmethod
+    def create_test_instance(cls) -> "BaseBagDetector":
+        """A small, fast, seeded instance for the shared estimator battery."""
+        return cls()
+
+    @abstractmethod
+    def _predict_changepoints(self, bags: List[np.ndarray]) -> IntArray:
+        """Detect change points on a validated list of ``(n_t, d)`` bags."""
+
+    # ------------------------------------------------------------------ #
+    # Public facade
+    # ------------------------------------------------------------------ #
+    def fit_predict(self, bags: BagsLike) -> IntArray:
+        """Run detection and return sorted sparse change-point indices.
+
+        Parameters
+        ----------
+        bags:
+            A :class:`~repro.core.BagSequence` or sequence of per-step
+            ``(n_t, d)`` arrays, at least :attr:`min_sequence_length`
+            long.
+
+        Returns
+        -------
+        IntArray
+            Strictly increasing change points in ``(0, len(bags))`` —
+            each the index of the first bag of a new segment; empty when
+            no change was detected.
+        """
+        arrays = as_bag_arrays(bags)
+        n = len(arrays)
+        minimum = self.min_sequence_length
+        if n < minimum:
+            raise ValidationError(
+                f"{type(self).__name__} needs at least {minimum} bags, got {n}"
+            )
+        changepoints = np.asarray(self._predict_changepoints(arrays))
+        # Re-validate through the shared converter checks so a buggy
+        # subclass cannot leak unsorted/out-of-range change points.
+        return _as_changepoints(changepoints, n)
+
+    def fit_transform(self, bags: BagsLike) -> IntArray:
+        """Run detection and return dense per-bag segment labels.
+
+        Parameters
+        ----------
+        bags:
+            Same input as :meth:`fit_predict`.
+
+        Returns
+        -------
+        IntArray
+            One segment label per bag (``0`` before the first change
+            point), exactly ``sparse_to_dense(fit_predict(bags), len(bags))``.
+        """
+        arrays = as_bag_arrays(bags)
+        return sparse_to_dense(self.fit_predict(arrays), len(arrays))

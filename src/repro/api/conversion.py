@@ -1,0 +1,119 @@
+"""Sparse/dense change-point representations and their converters.
+
+The estimator facade (:mod:`repro.api`) standardises two output formats
+for a detection run over ``n`` bags, mirroring the skchange convention:
+
+* **sparse** — a sorted integer array of *change points*: each entry is
+  the index of the first bag of a new segment, so every value lies in
+  the open interval ``(0, n)``;
+* **dense** — an integer array of *segment labels* of length ``n``:
+  label ``0`` before the first change point, ``1`` up to the second,
+  and so on.
+
+:func:`sparse_to_dense` and :func:`dense_to_sparse` convert between the
+two.  Their round-trip contract is exact in both directions:
+
+* ``dense_to_sparse(sparse_to_dense(cps, n)) == cps`` for any valid
+  sparse array ``cps``;
+* ``sparse_to_dense(dense_to_sparse(labels), len(labels))`` equals
+  ``labels`` whenever the labels are *canonical* (``0, 1, 2, …`` in
+  order of first appearance) — for arbitrary labels the round trip
+  canonicalises them while preserving every segment boundary.
+
+Both invariants are property-tested in ``tests/test_api_conversion.py``
+independently of any detector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from .._typing import IntArray
+from ..exceptions import ValidationError
+
+__all__ = ["dense_to_sparse", "sparse_to_dense"]
+
+
+def _as_changepoints(changepoints: Union[Sequence[int], IntArray], n_samples: int) -> IntArray:
+    """Validate a sparse change-point array against a sequence length."""
+    arr = np.asarray(changepoints)
+    if arr.size == 0:
+        return np.array([], dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValidationError(
+            f"changepoints must be one-dimensional, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.all(arr == np.floor(arr)):
+            raise ValidationError("changepoints must be integers")
+    out = arr.astype(np.int64)
+    if np.any(np.diff(out) <= 0):
+        raise ValidationError(
+            "changepoints must be strictly increasing (sorted, no duplicates)"
+        )
+    if out[0] < 1 or out[-1] >= n_samples:
+        raise ValidationError(
+            f"changepoints must lie in the open interval (0, {n_samples}); "
+            f"got range [{out[0]}, {out[-1]}] — a change point is the index "
+            "of the first sample of a new segment, so 0 and n are not valid"
+        )
+    return out
+
+
+def sparse_to_dense(
+    changepoints: Union[Sequence[int], IntArray], n_samples: int
+) -> IntArray:
+    """Expand sparse change points into dense per-sample segment labels.
+
+    Parameters
+    ----------
+    changepoints:
+        Sorted, strictly increasing change-point indices in ``(0,
+        n_samples)``; each is the index of the first sample of a new
+        segment.  An empty array yields a single all-zero segment.
+    n_samples:
+        Length of the sequence being labelled (must be positive).
+
+    Returns
+    -------
+    IntArray
+        Length-``n_samples`` array of segment labels ``0 … k`` where
+        ``k == len(changepoints)``.
+    """
+    if n_samples < 1:
+        raise ValidationError(f"n_samples must be positive, got {n_samples}")
+    cps = _as_changepoints(changepoints, n_samples)
+    labels = np.zeros(n_samples, dtype=np.int64)
+    # Each change point increments the label of every later sample.
+    for cp in cps:
+        labels[cp:] += 1
+    return labels
+
+
+def dense_to_sparse(labels: Union[Sequence[int], IntArray]) -> IntArray:
+    """Collapse dense segment labels into sparse change-point indices.
+
+    Parameters
+    ----------
+    labels:
+        One-dimensional integer segment labels, one per sample.  Labels
+        need not be consecutive or start at zero — a change point is
+        recorded wherever the label *differs* from its predecessor.
+
+    Returns
+    -------
+    IntArray
+        Sorted change-point indices: every ``i`` with
+        ``labels[i] != labels[i - 1]``.
+    """
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValidationError(f"labels must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError("labels must contain at least one sample")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValidationError(f"labels must be integers, got dtype {arr.dtype}")
+    changed = np.nonzero(arr[1:] != arr[:-1])[0] + 1
+    return changed.astype(np.int64)

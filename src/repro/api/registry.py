@@ -1,0 +1,68 @@
+"""Named registry of facade detectors.
+
+Adapters register themselves with :func:`register_detector` at import
+time; the shared estimator battery and the ``repro-detect zoo`` CLI both
+iterate :func:`detector_names`, so registering a detector automatically
+enrols it in the contract suite and the comparison harness.
+
+Importing :mod:`repro.api` populates the registry (the package
+``__init__`` imports the adapters module); code that imports this module
+directly sees only whatever has been registered so far.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type, TypeVar
+
+from ..exceptions import ValidationError
+from .base import BaseBagDetector
+
+__all__ = ["detector_names", "get_detector", "register_detector"]
+
+_REGISTRY: Dict[str, Type[BaseBagDetector]] = {}
+
+D = TypeVar("D", bound=Type[BaseBagDetector])
+
+
+def register_detector(name: str) -> Callable[[D], D]:
+    """Class decorator: enrol a facade detector under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (also the CLI spelling).  Must be unique; a
+        duplicate registration raises :class:`~repro.exceptions.ValidationError`
+        rather than silently shadowing the earlier detector.
+    """
+    if not name:
+        raise ValidationError("detector name must be non-empty")
+
+    def decorator(cls: D) -> D:
+        if name in _REGISTRY and _REGISTRY[name] is not cls:
+            raise ValidationError(f"detector name {name!r} is already registered")
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_detector(name: str) -> Type[BaseBagDetector]:
+    """Look up a registered detector class by name.
+
+    Parameters
+    ----------
+    name:
+        A key previously passed to :func:`register_detector`.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValidationError(
+            f"unknown detector {name!r}; registered detectors: {known}"
+        ) from None
+
+
+def detector_names() -> List[str]:
+    """All registered detector names, sorted."""
+    return sorted(_REGISTRY)

@@ -32,6 +32,13 @@ behind bounded ingest queues, with snapshot/restore (``--snapshot-dir``
 cross-stream batched solve per drain round.  Scores are printed as CSV
 with a leading ``stream`` column; the supervisor's robustness metrics go
 to standard error.
+
+A fourth mode, ``repro-detect zoo``, crosses the detector registry with
+the dataset registry (:mod:`repro.api` × :mod:`repro.datasets.registry`):
+every selected detector runs on every selected dataset through the
+shared estimator facade, alarms are matched against the ground-truth
+change points, and one comparison table (precision, recall, F1, mean
+delay, runtime) is emitted.  See ``docs/api.md``.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -489,18 +497,145 @@ def shard_build_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def build_zoo_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``zoo`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-detect zoo",
+        description="Run registered detectors on registered datasets through "
+        "the estimator facade and emit a comparison table (precision, "
+        "recall, F1, mean delay, runtime).",
+    )
+    parser.add_argument(
+        "--detectors", default="all",
+        help="comma-separated detector names, or 'all' (default); "
+        "see --list for the registry",
+    )
+    parser.add_argument(
+        "--datasets", default="mixture_small",
+        help="comma-separated dataset names, or 'all' "
+        "(default: mixture_small, the quick smoke stream)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+    parser.add_argument(
+        "--tolerance", type=int, default=5,
+        help="a change at c counts as detected by an alarm in "
+        "[c - allow_early, c + tolerance]",
+    )
+    parser.add_argument(
+        "--allow-early", type=int, default=0,
+        help="steps before the true change an alarm may fire and still match",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the registered detector and dataset names and exit",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the table here instead of stdout",
+    )
+    return parser
+
+
+def _split_names(spec: str, known: List[str], kind: str,
+                 parser: argparse.ArgumentParser) -> List[str]:
+    """Expand a comma-separated name list, validating against the registry."""
+    if spec == "all":
+        return known
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        parser.error(f"no {kind} selected")
+    for name in names:
+        if name not in known:
+            parser.error(
+                f"unknown {kind} {name!r}; registered: {', '.join(known)}"
+            )
+    return names
+
+
+def zoo_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``repro-detect zoo``."""
+    # Local imports: the zoo pulls in every adapter and generator, which
+    # the plain detection run does not need.
+    from .api import detector_names, get_detector
+    from .datasets.registry import dataset_names, make_dataset
+    from .evaluation import match_alarms
+
+    parser = build_zoo_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print("detectors:", ", ".join(detector_names()))
+        print("datasets:", ", ".join(dataset_names()))
+        return 0
+    detectors = _split_names(args.detectors, detector_names(), "detector", parser)
+    datasets = _split_names(args.datasets, dataset_names(), "dataset", parser)
+
+    header = (
+        "dataset", "detector", "changes", "found",
+        "precision", "recall", "f1", "delay", "seconds",
+    )
+    rows: List[tuple] = [header]
+    for dataset_name in datasets:
+        dataset = make_dataset(dataset_name, random_state=args.seed)
+        for detector_name in detectors:
+            detector = get_detector(detector_name).create_test_instance()
+            started = time.perf_counter()
+            try:
+                changepoints = detector.fit_predict(dataset.bags)
+            except ValidationError as error:
+                print(
+                    f"zoo: {detector_name} on {dataset_name} skipped: {error}",
+                    file=sys.stderr,
+                )
+                continue
+            elapsed = time.perf_counter() - started
+            matching = match_alarms(
+                changepoints.tolist(),
+                dataset.change_points,
+                tolerance=args.tolerance,
+                allow_early=args.allow_early,
+            )
+            delay = (
+                f"{sum(matching.delays) / len(matching.delays):.1f}"
+                if matching.delays else "-"
+            )
+            rows.append(
+                (
+                    dataset_name, detector_name,
+                    str(len(dataset.change_points)), str(len(changepoints)),
+                    f"{matching.precision:.2f}", f"{matching.recall:.2f}",
+                    f"{matching.f1:.2f}", delay, f"{elapsed:.2f}",
+                )
+            )
+
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    output_text = "\n".join(lines) + "\n"
+    if args.output is not None:
+        args.output.write_text(output_text)
+    else:
+        sys.stdout.write(output_text)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-detect`` console script.
 
     ``repro-detect shard-build …`` dispatches to the sharded band-build
     subcommand, ``repro-detect serve-replay …`` to the streaming-service
-    replay; anything else is the classic detection run.
+    replay, ``repro-detect zoo …`` to the detector-zoo comparison
+    harness; anything else is the classic detection run.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "shard-build":
         return shard_build_main(argv[1:])
     if argv and argv[0] == "serve-replay":
         return serve_replay_main(argv[1:])
+    if argv and argv[0] == "zoo":
+        return zoo_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     bags = _load_bags(parser, args.input, args.time_column)

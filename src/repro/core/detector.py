@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from .._typing import IntArray
 from .._validation import as_rng
 from ..emd import BandedDistanceMatrix, PairwiseEMDEngine
 from ..emd.orchestrator import RetryPolicy, ShardOrchestrator
@@ -33,6 +34,7 @@ from .config import DetectorConfig
 from .results import DetectionResult, ScorePoint
 from .score_engine import ScoreEngine
 from .scores import WindowDistances
+from .segmentation import merge_close_alarms
 from .thresholding import AdaptiveThreshold
 
 BagsInput = Union[BagSequence, Sequence[np.ndarray], Sequence[Signature]]
@@ -221,5 +223,57 @@ class BagChangePointDetector:
         )
         return result
 
-    # Alias kept for users coming from scikit-learn style APIs.
-    fit_predict = detect
+    # ------------------------------------------------------------------ #
+    # Estimator facade (repro.api contract)
+    # ------------------------------------------------------------------ #
+    def fit_predict(self, bags: BagsInput, *, min_gap: Optional[int] = None) -> IntArray:
+        """Run detection and return sparse change-point indices.
+
+        This is the :mod:`repro.api` estimator contract: unlike
+        :meth:`detect`, which returns the full per-step score trace,
+        ``fit_predict`` collapses the alarms into change points — runs of
+        alarms closer than ``min_gap`` merge into one, keeping the
+        earliest time (consecutive alarms while the test window straddles
+        one change refer to the same event).
+
+        Parameters
+        ----------
+        bags:
+            Same input as :meth:`detect`.
+        min_gap:
+            Merging distance; defaults to the test-window length
+            ``tau_test``.
+
+        Returns
+        -------
+        IntArray
+            Strictly increasing indices in ``(0, len(bags))``, each the
+            first bag of a new segment.
+        """
+        result = self.detect(bags)
+        gap = int(min_gap) if min_gap is not None else self.config.tau_test
+        merged = merge_close_alarms(result.alarm_times.tolist(), max(gap, 1))
+        n = int(result.metadata["n_bags"])
+        return np.asarray([cp for cp in merged if 0 < cp < n], dtype=np.int64)
+
+    def fit_transform(self, bags: BagsInput, *, min_gap: Optional[int] = None) -> IntArray:
+        """Run detection and return dense per-bag segment labels.
+
+        Parameters
+        ----------
+        bags:
+            Same input as :meth:`detect`.
+        min_gap:
+            Alarm-merging distance, as in :meth:`fit_predict`.
+
+        Returns
+        -------
+        IntArray
+            One segment label per bag (``0`` before the first change
+            point), i.e. ``sparse_to_dense(fit_predict(bags), len(bags))``.
+        """
+        # Local import: repro.api imports repro.core, not the reverse.
+        from ..api.conversion import sparse_to_dense
+
+        signatures = self.build_signatures(bags)
+        return sparse_to_dense(self.fit_predict(signatures), len(signatures))

@@ -10,6 +10,7 @@ from .darknet import (
 )
 from .enron import DEFAULT_EVENTS, EnronLikeStream, OrganizationalEvent
 from .mixtures import make_mixture_stream
+from .registry import dataset_names, make_dataset, register_dataset
 from .pamap import (
     ACTIVITIES,
     ACTIVITY_PROFILES,
@@ -26,6 +27,9 @@ __all__ = [
     "BagDataset",
     "GraphDataset",
     "make_mixture_stream",
+    "make_dataset",
+    "dataset_names",
+    "register_dataset",
     "make_confidence_interval_dataset",
     "make_all_confidence_interval_datasets",
     "PamapSimulator",

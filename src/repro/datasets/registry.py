@@ -1,0 +1,126 @@
+"""Named registry of seeded benchmark datasets.
+
+The companion of :mod:`repro.api.registry` on the data side: every entry
+is a builder that maps a seed to a fully materialised
+:class:`~repro.datasets.BagDataset` with ground-truth change points, so
+the ``repro-detect zoo`` harness (and any test) can cross any registered
+detector with any registered dataset by name.
+
+Registered datasets:
+
+``mixture``
+    The paper's Fig. 1 three-regime Gaussian-mixture stream (150 bags of
+    ~300 observations; changes at 50 and 100).
+``mixture_small``
+    A scaled-down variant (60 bags of ~60 observations; changes at 20
+    and 40) for quick smoke runs.
+``ci1`` … ``ci5``
+    The five Section-5.1 confidence-interval datasets (20 bags each).
+``pamap``
+    One simulated PAMAP subject performing the default activity protocol
+    (~230 bags of ~950 sensor records).
+``darknet``
+    Window-aggregated darknet traffic with the default scripted attack
+    campaigns (100 bags).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import ValidationError
+from .base import BagDataset
+from .darknet import DarknetTrafficSimulator
+from .mixtures import make_mixture_stream
+from .pamap import PamapSimulator
+from .synthetic_bags import make_confidence_interval_dataset
+
+__all__ = ["dataset_names", "make_dataset", "register_dataset"]
+
+#: A builder maps a seed to a materialised dataset.
+DatasetBuilder = Callable[[int], BagDataset]
+
+_REGISTRY: Dict[str, DatasetBuilder] = {}
+
+
+def register_dataset(name: str) -> Callable[[DatasetBuilder], DatasetBuilder]:
+    """Decorator: enrol a seeded dataset builder under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (also the CLI spelling).  Must be unique; a
+        duplicate registration raises
+        :class:`~repro.exceptions.ValidationError`.
+    """
+    if not name:
+        raise ValidationError("dataset name must be non-empty")
+
+    def decorator(builder: DatasetBuilder) -> DatasetBuilder:
+        if name in _REGISTRY and _REGISTRY[name] is not builder:
+            raise ValidationError(f"dataset name {name!r} is already registered")
+        _REGISTRY[name] = builder
+        return builder
+
+    return decorator
+
+
+def make_dataset(name: str, *, random_state: int = 0) -> BagDataset:
+    """Materialise a registered dataset.
+
+    Parameters
+    ----------
+    name:
+        A key previously passed to :func:`register_dataset`.
+    random_state:
+        Integer seed handed to the builder; the same seed always yields
+        the same dataset.
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValidationError(
+            f"unknown dataset {name!r}; registered datasets: {known}"
+        ) from None
+    dataset = builder(int(random_state))
+    if not dataset.name:
+        dataset.name = name
+    return dataset
+
+
+def dataset_names() -> List[str]:
+    """All registered dataset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+@register_dataset("mixture")
+def _mixture(seed: int) -> BagDataset:
+    return make_mixture_stream(random_state=seed)
+
+
+@register_dataset("mixture_small")
+def _mixture_small(seed: int) -> BagDataset:
+    return make_mixture_stream(
+        steps_per_regime=20, bag_size=60, bag_size_jitter=10, random_state=seed
+    )
+
+
+def _register_ci(dataset_id: int) -> None:
+    @register_dataset(f"ci{dataset_id}")
+    def _build(seed: int) -> BagDataset:
+        return make_confidence_interval_dataset(dataset_id, random_state=seed)
+
+
+for _dataset_id in (1, 2, 3, 4, 5):
+    _register_ci(_dataset_id)
+
+
+@register_dataset("pamap")
+def _pamap(seed: int) -> BagDataset:
+    return PamapSimulator(random_state=seed).simulate_subject()
+
+
+@register_dataset("darknet")
+def _darknet(seed: int) -> BagDataset:
+    return DarknetTrafficSimulator(random_state=seed).generate()

@@ -1,0 +1,51 @@
+"""Bad fixture: undocumented exports and docstrings drifted from signatures."""
+
+from dataclasses import dataclass
+
+__all__ = ["Window", "Config", "score_series", "no_docs"]
+
+
+def no_docs(values):
+    return values
+
+
+def score_series(values, threshold):
+    """Score each value against a threshold.
+
+    Parameters
+    ----------
+    values:
+        The series to score.
+    cutoff:
+        Renamed to ``threshold`` long ago; the docstring never followed.
+    """
+    return [1 if v > threshold else 0 for v in values]
+
+
+class Window:
+    """A reference/test window pair.
+
+    Parameters
+    ----------
+    reference:
+        Length of the reference window.
+    tail:
+        Removed when the asymmetric window was dropped.
+    """
+
+    def __init__(self, reference, test):
+        self.reference = reference
+        self.test = test
+
+
+@dataclass
+class Config:
+    """Configuration of a run.
+
+    Parameters
+    ----------
+    tau_ref:
+        The field is actually called ``tau``.
+    """
+
+    tau: int = 5

@@ -1,0 +1,68 @@
+"""Good fixture: exported definitions with honest docstrings."""
+
+from dataclasses import dataclass
+
+__all__ = ["Window", "Config", "score_series", "combine", "REEXPORTED"]
+
+# A re-exported name defined elsewhere: not this module's to document.
+REEXPORTED = object()
+
+
+def score_series(values, threshold):
+    """Score each value against a threshold.
+
+    Parameters
+    ----------
+    values:
+        The series to score.
+    threshold:
+        Values above this score as 1.
+    """
+    return [1 if v > threshold else 0 for v in values]
+
+
+def combine(*series, weight=1.0, **options):
+    """Combine several series (kwargs pass-through: names are free-form).
+
+    Parameters
+    ----------
+    series:
+        The input series.
+    anything_at_all:
+        Forwarded to the underlying combiner.
+    """
+    return series, weight, options
+
+
+class Window:
+    """A reference/test window pair.
+
+    Parameters
+    ----------
+    reference:
+        Length of the reference window.
+    test:
+        Length of the test window.
+    """
+
+    def __init__(self, reference, test):
+        self.reference = reference
+        self.test = test
+
+
+@dataclass
+class Config:
+    """Configuration of a run.
+
+    Parameters
+    ----------
+    tau:
+        Reference window length.
+    """
+
+    tau: int = 5
+
+
+def _private(undocumented):
+    # Not exported: RL008 does not apply.
+    return undocumented

@@ -1,0 +1,136 @@
+"""Round-trip and validation tests for the sparse/dense converters.
+
+These invariants are detector-independent: any sparse change-point array
+must survive ``dense_to_sparse(sparse_to_dense(cps, n)) == cps`` exactly,
+and any dense labelling must keep every segment boundary through the
+reverse trip.  Property-tested with hypothesis under ``derandomize``
+(seeded, reproducible example generation).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import dense_to_sparse, sparse_to_dense
+from repro.exceptions import ValidationError
+
+SETTINGS = settings(max_examples=200, derandomize=True)
+
+
+@st.composite
+def sparse_changepoints(draw):
+    """A sequence length and a valid sparse change-point array for it."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    if n < 2:
+        return n, []
+    cps = draw(st.lists(st.integers(min_value=1, max_value=n - 1), unique=True, max_size=n - 1))
+    return n, sorted(cps)
+
+
+@st.composite
+def dense_labels(draw):
+    """An arbitrary (non-canonical) dense labelling."""
+    return draw(
+        st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=120)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------- #
+@SETTINGS
+@given(sparse_changepoints())
+def test_sparse_dense_sparse_is_identity(case):
+    n, cps = case
+    labels = sparse_to_dense(cps, n)
+    assert labels.shape == (n,)
+    np.testing.assert_array_equal(dense_to_sparse(labels), np.asarray(cps, dtype=np.int64))
+
+
+@SETTINGS
+@given(sparse_changepoints())
+def test_sparse_to_dense_labels_are_canonical(case):
+    n, cps = case
+    labels = sparse_to_dense(cps, n)
+    assert labels[0] == 0
+    steps = np.diff(labels)
+    assert set(steps.tolist()) <= {0, 1}, "labels must increase by exactly 1 at each change"
+    assert labels.max() == len(cps)
+
+
+@SETTINGS
+@given(dense_labels())
+def test_dense_sparse_dense_preserves_boundaries(labels):
+    cps = dense_to_sparse(labels)
+    canonical = sparse_to_dense(cps, len(labels))
+    # The round trip canonicalises the labels but must keep every boundary.
+    np.testing.assert_array_equal(dense_to_sparse(canonical), cps)
+    arr = np.asarray(labels)
+    boundaries = np.nonzero(arr[1:] != arr[:-1])[0] + 1
+    np.testing.assert_array_equal(cps, boundaries)
+
+
+@SETTINGS
+@given(dense_labels())
+def test_dense_to_sparse_output_is_valid_sparse(labels):
+    cps = dense_to_sparse(labels)
+    assert cps.dtype == np.int64
+    if cps.size:
+        assert np.all(np.diff(cps) > 0)
+        assert cps[0] >= 1
+        assert cps[-1] <= len(labels) - 1
+
+
+# --------------------------------------------------------------------- #
+# Explicit cases
+# --------------------------------------------------------------------- #
+def test_empty_changepoints_give_single_segment():
+    np.testing.assert_array_equal(sparse_to_dense([], 4), np.zeros(4, dtype=np.int64))
+
+
+def test_known_example():
+    labels = sparse_to_dense([2, 5], 7)
+    np.testing.assert_array_equal(labels, [0, 0, 1, 1, 1, 2, 2])
+    np.testing.assert_array_equal(dense_to_sparse(labels), [2, 5])
+
+
+def test_non_canonical_labels_still_yield_boundaries():
+    np.testing.assert_array_equal(dense_to_sparse([5, 5, -1, -1, 5]), [2, 4])
+
+
+# --------------------------------------------------------------------- #
+# Validation
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "cps, n",
+    [
+        ([3, 2], 5),          # unsorted
+        ([2, 2], 5),          # duplicate
+        ([0], 5),             # 0 is not a change point
+        ([5], 5),             # n is not a change point
+        ([-1], 5),            # negative
+        ([[1, 2]], 5),        # not one-dimensional
+        ([1.5], 5),           # non-integer
+    ],
+)
+def test_sparse_to_dense_rejects_invalid_changepoints(cps, n):
+    with pytest.raises(ValidationError):
+        sparse_to_dense(cps, n)
+
+
+def test_sparse_to_dense_rejects_nonpositive_length():
+    with pytest.raises(ValidationError):
+        sparse_to_dense([], 0)
+
+
+@pytest.mark.parametrize("labels", [[], [[0, 1]], [0.5, 1.5]])
+def test_dense_to_sparse_rejects_invalid_labels(labels):
+    with pytest.raises(ValidationError):
+        dense_to_sparse(labels)
+
+
+def test_float_integral_changepoints_accepted():
+    np.testing.assert_array_equal(
+        sparse_to_dense(np.array([2.0, 5.0]), 7), [0, 0, 1, 1, 1, 2, 2]
+    )

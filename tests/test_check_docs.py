@@ -1,0 +1,96 @@
+"""Tests for tools/check_docs.py — the markdown link/anchor checker."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.check_docs import check_paths, extract_links, heading_anchors
+
+
+def test_extract_links_finds_inline_links_and_images() -> None:
+    text = "\n".join(
+        [
+            "See [the guide](docs/guide.md) and ![a plot](plot.png).",
+            "Two on one line: [a](x.md) [b](y.md#top).",
+        ]
+    )
+    targets = [target for _, target in extract_links(text)]
+    assert targets == ["docs/guide.md", "plot.png", "x.md", "y.md#top"]
+
+
+def test_extract_links_skips_code_fences() -> None:
+    text = "\n".join(
+        [
+            "[real](a.md)",
+            "```python",
+            "print('[not a link](b.md)')",
+            "```",
+            "[also real](c.md)",
+        ]
+    )
+    targets = [target for _, target in extract_links(text)]
+    assert targets == ["a.md", "c.md"]
+
+
+def test_heading_anchors_use_github_slug_rules() -> None:
+    text = "\n".join(
+        [
+            "# The estimator facade (`repro.api`)",
+            "## Sparse ↔ dense converters",
+            "## Tests and CI",
+            "## Tests and CI",  # duplicate headings get -1 suffixes
+        ]
+    )
+    anchors = heading_anchors(text)
+    assert "the-estimator-facade-reproapi" in anchors
+    assert "tests-and-ci" in anchors
+    assert "tests-and-ci-1" in anchors
+
+
+def test_check_paths_accepts_resolving_links(tmp_path: Path) -> None:
+    (tmp_path / "a.md").write_text(
+        "# Top\n\nSee [b](b.md) and [section](b.md#details).\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "b.md").write_text("# B\n\n## Details\n\nBack to [a](a.md#top).\n", encoding="utf-8")
+    n_files, errors = check_paths([tmp_path])
+    assert n_files == 2
+    assert errors == []
+
+
+def test_check_paths_flags_missing_file_and_missing_anchor(tmp_path: Path) -> None:
+    (tmp_path / "a.md").write_text(
+        "# Top\n\n[gone](missing.md)\n\n[bad anchor](b.md#nope)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "b.md").write_text("# B\n", encoding="utf-8")
+    _, errors = check_paths([tmp_path])
+    assert len(errors) == 2
+    assert any("missing.md" in error for error in errors)
+    assert any("#nope" in error for error in errors)
+
+
+def test_check_paths_ignores_external_urls(tmp_path: Path) -> None:
+    (tmp_path / "a.md").write_text(
+        "[site](https://example.com/page#frag) [mail](mailto:x@example.com)\n",
+        encoding="utf-8",
+    )
+    _, errors = check_paths([tmp_path])
+    assert errors == []
+
+
+def test_same_file_fragment_links(tmp_path: Path) -> None:
+    (tmp_path / "a.md").write_text(
+        "# Intro\n\nJump to [details](#details).\n\n## Details\n\nMiss: [x](#absent)\n",
+        encoding="utf-8",
+    )
+    _, errors = check_paths([tmp_path])
+    assert len(errors) == 1
+    assert "#absent" in errors[0]
+
+
+def test_repo_markdown_is_link_clean() -> None:
+    repo_root = Path(__file__).resolve().parent.parent
+    n_files, errors = check_paths([repo_root])
+    assert n_files >= 8  # README + docs/ + examples/ at minimum
+    assert errors == [], "\n".join(errors)

@@ -1,0 +1,148 @@
+"""Shared contract battery: every registered detector, one test suite.
+
+The facade's value is uniformity — any detector reachable through
+:mod:`repro.api` must behave identically at the contract level no matter
+how different the algorithm underneath is.  This battery parametrises
+over the *registry* (not a hand-kept list), so registering a new adapter
+automatically enrols it here.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BaseBagDetector,
+    dense_to_sparse,
+    detector_names,
+    get_detector,
+    sparse_to_dense,
+)
+from repro.datasets import make_mixture_stream
+from repro.exceptions import ReproError, ValidationError
+
+ALL_DETECTORS = detector_names()
+
+EXPECTED_DETECTORS = {
+    "change_finder",
+    "cusum",
+    "density_ratio",
+    "emd",
+    "emd_online",
+    "kcd",
+    "mean_shift",
+    "ocsvm",
+    "sdar",
+    "sst",
+}
+
+
+@functools.lru_cache(maxsize=1)
+def _stream():
+    """One small seeded three-regime stream shared by the whole battery."""
+    dataset = make_mixture_stream(
+        steps_per_regime=15, bag_size=30, bag_size_jitter=5, random_state=7
+    )
+    return tuple(bag.copy() for bag in dataset.bags), tuple(dataset.change_points)
+
+
+@functools.lru_cache(maxsize=None)
+def _changepoints(name):
+    """fit_predict of a fresh test instance on the shared stream (cached)."""
+    bags, _ = _stream()
+    detector = get_detector(name).create_test_instance()
+    return detector.fit_predict(list(bags))
+
+
+def test_registry_contains_all_ten_detectors():
+    assert set(ALL_DETECTORS) == EXPECTED_DETECTORS
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_create_test_instance_is_a_facade_detector(name):
+    detector = get_detector(name).create_test_instance()
+    assert isinstance(detector, BaseBagDetector)
+    assert detector.min_sequence_length >= 2
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_fit_predict_returns_valid_sparse_changepoints(name):
+    bags, _ = _stream()
+    cps = _changepoints(name)
+    assert cps.dtype == np.int64
+    assert cps.ndim == 1
+    if cps.size:
+        assert np.all(np.diff(cps) > 0), "changepoints must be strictly increasing"
+        assert cps[0] > 0 and cps[-1] < len(bags)
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_seeded_determinism_across_fresh_instances(name):
+    bags, _ = _stream()
+    again = get_detector(name).create_test_instance().fit_predict(list(bags))
+    np.testing.assert_array_equal(_changepoints(name), again)
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_fit_transform_matches_sparse_to_dense(name):
+    bags, _ = _stream()
+    labels = get_detector(name).create_test_instance().fit_transform(list(bags))
+    np.testing.assert_array_equal(labels, sparse_to_dense(_changepoints(name), len(bags)))
+    np.testing.assert_array_equal(dense_to_sparse(labels), _changepoints(name))
+    assert labels.shape == (len(bags),)
+    assert labels[0] == 0
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_empty_sequence_rejected(name):
+    detector = get_detector(name).create_test_instance()
+    with pytest.raises(ValidationError):
+        detector.fit_predict([])
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_too_short_sequence_rejected(name):
+    bags, _ = _stream()
+    detector = get_detector(name).create_test_instance()
+    short = list(bags[: detector.min_sequence_length - 1])
+    with pytest.raises(ValidationError):
+        detector.fit_predict(short)
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_empty_bag_rejected(name):
+    bags, _ = _stream()
+    detector = get_detector(name).create_test_instance()
+    poisoned = list(bags)
+    poisoned[3] = np.empty((0, poisoned[3].shape[1]))
+    with pytest.raises(ValidationError):
+        detector.fit_predict(poisoned)
+
+
+@pytest.mark.parametrize("name", ALL_DETECTORS)
+def test_invalid_configuration_rejected(name):
+    cls = get_detector(name)
+    with pytest.raises(ReproError):
+        if name in ("emd", "emd_online"):
+            cls(tau=1)
+        else:
+            cls(min_gap=0)
+
+
+@pytest.mark.parametrize("name", ["emd", "emd_online"])
+def test_paper_detectors_find_the_mixture_changes(name):
+    """The paper's own detectors must actually locate the regime changes."""
+    _, true_cps = _stream()
+    cps = _changepoints(name)
+    for true_cp in true_cps:
+        assert np.any(np.abs(cps - true_cp) <= 3), (true_cp, cps.tolist())
+
+
+def test_one_dimensional_bags_are_promoted():
+    rng = np.random.default_rng(5)
+    bags = [rng.normal(0, 1, 20) for _ in range(12)]
+    bags += [rng.normal(4, 1, 20) for _ in range(12)]
+    detector = get_detector("mean_shift").create_test_instance()
+    cps = detector.fit_predict(bags)
+    assert cps.size >= 1

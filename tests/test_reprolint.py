@@ -38,7 +38,7 @@ from tools.reprolint.project import CONFIG_INTERNAL_FIELDS, DEFAULT_REGISTRY
 REPO_ROOT = Path(__file__).resolve().parents[1]
 FIXTURES = REPO_ROOT / "tests" / "reprolint_fixtures"
 
-RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
+RULE_CODES = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008")
 
 
 def lint_fixture(name: str):
@@ -125,6 +125,16 @@ def test_rl007_catches_each_breakage_mode():
         "without checksum validation" in m and "fingerprint" not in m.split(";")[0]
         for m in messages
     )
+
+
+def test_rl008_catches_each_breakage_mode():
+    report = lint_fixture("rl008_bad.py")
+    messages = " | ".join(v.message for v in report.violations)
+    assert len(report.violations) == 4
+    assert "no_docs has no docstring" in messages        # undocumented export
+    assert "cutoff" in messages                          # drifted function docstring
+    assert "tail" in messages                            # drifted __init__ docstring
+    assert "tau_ref" in messages                         # drifted dataclass docstring
 
 
 def test_rl005_internal_allowlist_is_documented():

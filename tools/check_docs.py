@@ -1,0 +1,187 @@
+"""Markdown link checker for the repo's documentation set.
+
+Walks every ``*.md`` file under the repository (skipping virtualenvs,
+caches and ``.git``), extracts the inline links, and verifies:
+
+* **relative links** — the target file or directory exists relative to
+  the linking file;
+* **anchors** — for ``path#fragment`` (or ``#fragment`` within a file),
+  the fragment matches a heading in the target file under GitHub's
+  anchor-slug rules (lower-cased, punctuation stripped, spaces to
+  hyphens);
+* absolute URLs (``http://`` / ``https://``) and ``mailto:`` links are
+  recorded but not fetched — the checker is offline by design.
+
+Exit code 0 when every link resolves, 1 otherwise (each broken link is
+reported as ``file:line: message``).  Run from the repository root:
+
+    python tools/check_docs.py            # check the whole repo
+    python tools/check_docs.py README.md  # check specific files
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["check_paths", "extract_links", "heading_anchors", "main"]
+
+#: Inline markdown links: [text](target) — images share the syntax.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+#: Characters GitHub strips when slugging a heading into an anchor.
+_ANCHOR_STRIP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "venv", "node_modules", ".pytest_cache"}
+#: Scraped/generated research inputs at the repo root — not maintained docs.
+_SKIP_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def extract_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every inline link outside code fences.
+
+    Parameters
+    ----------
+    text:
+        The markdown source.
+    """
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def _slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    text = heading.strip().lower()
+    # Inline code/emphasis markers vanish in the rendered heading.
+    text = text.replace("`", "").replace("*", "")
+    # Rendered links contribute only their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = _ANCHOR_STRIP_RE.sub("", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> Set[str]:
+    """Anchor slugs of every heading in a markdown document.
+
+    Parameters
+    ----------
+    text:
+        The markdown source.
+    """
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_fence = False
+    for line in text.splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match is None:
+            continue
+        slug = _slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def _check_file(path: Path, anchors_cache: Dict[Path, Set[str]]) -> List[str]:
+    errors: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    anchors_cache.setdefault(path.resolve(), heading_anchors(text))
+    for lineno, target in extract_links(text):
+        if _is_external(target):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link: {target} "
+                              f"(no such file {base!r} relative to {path.parent})")
+                continue
+        else:
+            resolved = path.resolve()
+        if not fragment:
+            continue
+        if resolved.is_dir() or resolved.suffix.lower() != ".md":
+            continue  # anchors into non-markdown targets are not checkable
+        if resolved not in anchors_cache:
+            anchors_cache[resolved] = heading_anchors(resolved.read_text(encoding="utf-8"))
+        if fragment.lower() not in anchors_cache[resolved]:
+            errors.append(f"{path}:{lineno}: broken anchor: {target} "
+                          f"(no heading #{fragment} in {resolved.name})")
+    return errors
+
+
+def _discover(paths: Sequence[Path]) -> List[Path]:
+    found: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.md"):
+                if candidate.name in _SKIP_FILES:
+                    continue
+                if not any(part in _SKIP_DIRS for part in candidate.parts):
+                    found.add(candidate)
+        elif path.suffix.lower() == ".md":
+            found.add(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {path}")
+    return sorted(found)
+
+
+def check_paths(paths: Sequence[Path]) -> Tuple[int, List[str]]:
+    """Check every markdown file under ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to walk.
+
+    Returns
+    -------
+    tuple
+        ``(n_files_checked, errors)``.
+    """
+    anchors_cache: Dict[Path, Set[str]] = {}
+    errors: List[str] = []
+    files = _discover(paths)
+    for path in files:
+        errors.extend(_check_file(path, anchors_cache))
+    return len(files), errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point: ``python tools/check_docs.py [paths...]``."""
+    parser = argparse.ArgumentParser(
+        description="Check relative links and anchors in markdown files."
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, default=[Path(".")],
+        help="markdown files or directories to check (default: the whole repo)",
+    )
+    args = parser.parse_args(argv)
+    n_files, errors = check_paths(args.paths)
+    for error in errors:
+        print(error)
+    print(f"check_docs: {n_files} markdown file(s) checked, {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,7 @@
 """The built-in reprolint rules, one module per project invariant."""
 
 from .config_plumbing import ConfigPlumbingRule
+from .docstring_discipline import DocstringDisciplineRule
 from .exception_context import ExceptionContextRule
 from .pool_safety import PoolSafetyRule
 from .registry_consistency import RegistryConsistencyRule
@@ -17,6 +18,7 @@ RULES = (
     ConfigPlumbingRule,
     RetryDisciplineRule,
     SnapshotDisciplineRule,
+    DocstringDisciplineRule,
 )
 
 __all__ = [
@@ -28,4 +30,5 @@ __all__ = [
     "ConfigPlumbingRule",
     "RetryDisciplineRule",
     "SnapshotDisciplineRule",
+    "DocstringDisciplineRule",
 ]

@@ -1,0 +1,201 @@
+"""RL008 — exported definitions carry docstrings that match their signatures.
+
+The public surface of the library is whatever ``__all__`` exports, and
+the numpy-style docstrings on that surface are the API reference
+(``docs/api.md`` links straight into them).  Two failure modes creep in
+silently as code evolves:
+
+* an exported class or function with **no docstring at all** — the
+  symbol is public but undocumented;
+* a docstring whose ``Parameters`` section documents a name that no
+  longer exists in the signature — the documentation has drifted from
+  the code, which is worse than no documentation.
+
+Concretely, for every name in a module-level ``__all__`` literal that is
+defined in the same module as a class or function:
+
+* the definition must have a docstring (for classes the class docstring);
+* every parameter name documented in a numpy-style ``Parameters``
+  section must appear in the signature — the function's own parameters,
+  or for classes the ``__init__`` parameters (dataclass field names for
+  ``@dataclass`` classes without an explicit ``__init__``).  Classes
+  whose constructors accept ``**kwargs`` pass-throughs are exempt from
+  the name check: their documented parameters legitimately name keys of
+  the forwarded mapping.
+
+The reverse direction — signature parameters missing from the docstring
+— is deliberately not enforced: terse docstrings are fine, stale ones
+are not.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from ..engine import ModuleInfo, ProjectContext, Rule, Violation
+
+_Def = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_PARAM_LINE_RE = re.compile(
+    r"^(?P<names>[*]{0,2}[A-Za-z_][A-Za-z0-9_]*"
+    r"(?:\s*,\s*[*]{0,2}[A-Za-z_][A-Za-z0-9_]*)*)\s*:(?:\s|$)|"
+    r"^(?P<bare>[*]{0,2}[A-Za-z_][A-Za-z0-9_]*)\s*$"
+)
+_UNDERLINE_RE = re.compile(r"^\s*-{3,}\s*$")
+
+
+def _exported_names(tree: ast.Module) -> Set[str]:
+    """Names listed in a module-level ``__all__`` literal."""
+    names: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    names.add(element.value)
+    return names
+
+
+def _signature_names(function: _Def) -> Set[str]:
+    """Every parameter name of ``function``, without self/cls."""
+    arguments = function.args
+    names = [a.arg for a in arguments.posonlyargs + arguments.args + arguments.kwonlyargs]
+    if arguments.vararg is not None:
+        names.append(arguments.vararg.arg)
+    if arguments.kwarg is not None:
+        names.append(arguments.kwarg.arg)
+    return {name for name in names if name not in ("self", "cls")}
+
+
+def _has_kwargs(function: _Def) -> bool:
+    return function.args.kwarg is not None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _documented_parameters(docstring: str) -> List[str]:
+    """Parameter names documented in a numpy-style ``Parameters`` section."""
+    lines = docstring.splitlines()
+    names: List[str] = []
+    in_section = False
+    base_indent: Optional[int] = None
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        underlined = index + 1 < len(lines) and _UNDERLINE_RE.match(lines[index + 1])
+        if underlined and stripped == "Parameters":
+            in_section = True
+            base_indent = None
+            continue
+        if underlined and stripped and stripped != "Parameters":
+            in_section = False
+            continue
+        if not in_section or not stripped or _UNDERLINE_RE.match(line):
+            continue
+        indent = len(line) - len(line.lstrip())
+        if base_indent is None:
+            base_indent = indent
+        if indent != base_indent:
+            continue
+        match = _PARAM_LINE_RE.match(stripped)
+        if match is None or match.group("names") is None:
+            continue
+        for name in match.group("names").split(","):
+            names.append(name.strip().lstrip("*"))
+    return names
+
+
+class DocstringDisciplineRule(Rule):
+    code = "RL008"
+    name = "docstring-discipline"
+    description = (
+        "__all__-exported classes/functions must carry a docstring whose "
+        "documented parameter names exist in the signature"
+    )
+
+    def check(self, module: ModuleInfo, context: ProjectContext) -> Iterator[Violation]:
+        exported = _exported_names(module.tree)
+        if not exported:
+            return
+        definitions: Dict[str, ast.stmt] = {}
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                definitions[node.name] = node
+        for name in sorted(exported):
+            node = definitions.get(name)
+            if node is None:
+                continue  # re-export; checked where it is defined
+            yield from self._check_definition(module, node)
+
+    def _check_definition(
+        self, module: ModuleInfo, node: ast.stmt
+    ) -> Iterator[Violation]:
+        docstring = ast.get_docstring(node, clean=True)
+        if not docstring:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            yield self.violation(
+                module.path,
+                node,
+                f"exported {kind} {node.name} has no docstring; everything "
+                "reachable through __all__ is public API and must be documented",
+            )
+            return
+        documented = _documented_parameters(docstring)
+        if not documented:
+            return
+        signature = self._signature_for(node)
+        if signature is None:
+            return
+        unknown = sorted(set(documented) - signature)
+        if unknown:
+            yield self.violation(
+                module.path,
+                node,
+                f"docstring of exported {node.name} documents parameter(s) "
+                f"{', '.join(unknown)} that do not exist in the signature; "
+                "the documentation has drifted from the code",
+            )
+
+    @staticmethod
+    def _signature_for(node: ast.stmt) -> Optional[Set[str]]:
+        """Parameter names the docstring may legitimately document."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _has_kwargs(node):
+                return None
+            return _signature_names(node)
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if (
+                    isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and member.name == "__init__"
+                ):
+                    if _has_kwargs(member):
+                        return None
+                    return _signature_names(member)
+            if _is_dataclass(node):
+                return {
+                    member.target.id
+                    for member in node.body
+                    if isinstance(member, ast.AnnAssign)
+                    and isinstance(member.target, ast.Name)
+                }
+            return None
+        return None
